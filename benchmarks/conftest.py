@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Each benchmark reproduces one of the paper's tables or figures. The
+experiment bodies are deterministic simulations, so they run exactly
+once inside pytest-benchmark (``pedantic`` with one round) — the
+"benchmark" timing is the simulation's wall cost; the scientific output
+is the printed paper-style table plus shape assertions.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `common` importable when pytest runs from the repo root.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""Figure 10: RPC latency for different server-client stack combinations.
+
+Single-threaded Memcached-style ping-pong between every client stack and
+every server stack. Paper: FlexTOE consistently provides the lowest
+median and tail latency across combinations even though its *minimum*
+latency is higher in some cases (wimpy FPCs + pipelining); Linux's
+median is >= 5x the others.
+
+Scaled: 64-byte echo RPCs, 200 samples per combination.
+"""
+
+from common import STACKS, closed_loop_latency
+from conftest import run_once
+from repro.harness.report import Table
+
+
+def sweep():
+    results = {}
+    for server_stack in STACKS:
+        for client_stack in ("flextoe", "linux"):
+            hist = closed_loop_latency(
+                server_stack, request_size=64, response_size=64, n_requests=200,
+                client_stack=client_stack,
+            )
+            results[(server_stack, client_stack)] = hist.summary()
+    return results
+
+
+def test_fig10_latency_combinations(benchmark):
+    results = run_once(benchmark, sweep)
+
+    table = Table(
+        "Figure 10: RPC RTT by stack combination (us)",
+        ["server", "client", "min", "p50", "p99", "max"],
+    )
+    for (server_stack, client_stack), (mn, p50, p99, _p9999, mx) in sorted(results.items()):
+        table.add_row(
+            server_stack,
+            client_stack,
+            "%.1f" % (mn / 1000),
+            "%.1f" % (p50 / 1000),
+            "%.1f" % (p99 / 1000),
+            "%.1f" % (mx / 1000),
+        )
+    table.show()
+
+    def p50(server, client="flextoe"):
+        return results[(server, client)][1]
+
+    def p99(server, client="flextoe"):
+        return results[(server, client)][2]
+
+    # Linux server median is far above the kernel-bypass/offload stacks.
+    assert p50("linux") > 2.5 * p50("flextoe")
+    assert p50("linux") > 2.5 * p50("tas")
+    # FlexTOE tail beats Linux and Chelsio tails.
+    assert p99("flextoe") < p99("linux")
+    assert p99("flextoe") < p99("chelsio")
+    # FlexTOE's minimum may exceed Chelsio's (wimpy FPCs + pipelining),
+    # but its median stays competitive (within 2x).
+    assert p50("flextoe") < 2 * p50("chelsio")

@@ -1,0 +1,78 @@
+"""Figure 11: RPC throughput for a saturated single-threaded server.
+
+Many connections (open loop, pipelined) against a server that spends an
+artificial 250 or 1,000 cycles of application work per RPC. RX and TX
+roles are measured separately by swapping producer/consumer: in RX mode
+clients send size-B requests and the server replies 32 B; in TX mode
+clients send 32 B and the server replies size B.
+
+Paper: with 250 cycles/RPC FlexTOE gives up to 4x Linux and 5.3x
+Chelsio receiving, >7.6x both when sending; TAS and FlexTOE track
+closely (the single application core is the bottleneck for both); at
+2 KB both reach line rate. Gains remain >2.2x at 1,000 cycles/RPC.
+
+Scaled: 32 connections, sizes {64, 512, 2048}.
+"""
+
+from common import STACKS, EchoBench
+from conftest import run_once
+from repro.harness.report import Table
+
+SIZES = (64, 512, 2048)
+
+
+def measure(stack, direction, size, app_delay):
+    if direction == "rx":
+        request_size, response_size = size, 32
+    else:
+        request_size, response_size = 32, size
+    bench = EchoBench(
+        stack,
+        n_connections=32,
+        request_size=request_size,
+        response_size=response_size,
+        pipeline=8,
+        server_cores=1,
+        app_delay_cycles=app_delay,
+    )
+    result = bench.run(window_ns=1_000_000)
+    return result["ops_per_sec"]
+
+
+def sweep():
+    results = {}
+    for stack in STACKS:
+        for direction in ("rx", "tx"):
+            for size in SIZES:
+                results[(stack, direction, size, 250)] = measure(stack, direction, size, 250)
+        # The higher app-cost point at the smallest size.
+        results[(stack, "rx", 64, 1000)] = measure(stack, "rx", 64, 1000)
+    return results
+
+
+def test_fig11_rpc_throughput(benchmark):
+    results = run_once(benchmark, sweep)
+
+    table = Table(
+        "Figure 11: saturated-server RPC throughput (ops/s)",
+        ["stack", "dir", "size", "app cycles", "ops/s"],
+    )
+    for (stack, direction, size, delay), ops in sorted(results.items(), key=lambda kv: str(kv[0])):
+        table.add_row(stack, direction, size, delay, "%.0f" % ops)
+    table.show()
+
+    def get(stack, direction="rx", size=64, delay=250):
+        return results[(stack, direction, size, delay)]
+
+    # FlexTOE far outpaces the kernel-based stacks in both directions.
+    assert get("flextoe", "rx") > 2.5 * get("linux", "rx")
+    assert get("flextoe", "rx") > 2.5 * get("chelsio", "rx")
+    assert get("flextoe", "tx") > 2.5 * get("linux", "tx")
+    assert get("flextoe", "tx") > 2.5 * get("chelsio", "tx")
+    # TAS and FlexTOE track within ~2.5x at the app-bound sizes.
+    for size in SIZES:
+        ratio = get("flextoe", "rx", size) / get("tas", "rx", size)
+        assert 0.5 < ratio < 3.0
+    # Higher app cost shrinks everyone, but FlexTOE's lead persists >2x.
+    assert get("flextoe", "rx", 64, 1000) > 2.0 * get("linux", "rx", 64, 1000)
+    assert get("flextoe", "rx", 64, 1000) < get("flextoe", "rx", 64, 250)

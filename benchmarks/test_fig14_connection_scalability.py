@@ -1,0 +1,77 @@
+"""Figure 14: connection scalability.
+
+An increasing number of connections each keep a single 64 B RPC in
+flight against a multi-threaded echo server — worst case for FlexTOE's
+connection-state caches (a miss at every pipeline stage per segment).
+
+Paper: up to 2K connections FlexTOE is 3.3x Linux; TAS is 1.5x FlexTOE
+(host LLC beats NIC SRAM); FlexTOE declines ~24 % by 8K connections
+(EMEM cache strain) and plateaus; Chelsio collapses under epoll cost.
+
+Scaled: the CLS/EMEM cache capacities are shrunk 8x (CLS 64/island,
+EMEM cache 1K records) so the paper's 2K/16K knees appear at 256/1K
+connections, which is simulable: sweep {64, 256, 1024}.
+"""
+
+from common import STACKS, EchoBench
+from conftest import run_once
+from repro.flextoe.config import PipelineConfig
+from repro.harness.report import Table
+
+CONN_COUNTS = (64, 256, 1024)
+
+#: Cache shrink factor (documented above; applied to FlexTOE only).
+CLS_ENTRIES = 64
+EMEM_RECORDS = 1024
+
+
+def measure(stack, n_connections):
+    pipeline_config = None
+    if stack == "flextoe":
+        pipeline_config = PipelineConfig.full()
+        pipeline_config.state_cache_cls_entries = CLS_ENTRIES
+        pipeline_config.emem_cache_records = EMEM_RECORDS
+    bench = EchoBench(
+        stack,
+        n_connections=n_connections,
+        request_size=64,
+        pipeline=1,  # single RPC in flight per connection
+        server_cores=4,
+        client_hosts=4,
+        pipeline_config=pipeline_config,
+    )
+    result = bench.run(warmup_ns=600_000, window_ns=1_200_000)
+    return result["ops_per_sec"]
+
+
+def sweep():
+    return {
+        stack: {n: measure(stack, n) for n in CONN_COUNTS} for stack in STACKS
+    }
+
+
+def test_fig14_connection_scalability(benchmark):
+    results = run_once(benchmark, sweep)
+
+    table = Table(
+        "Figure 14: throughput vs connection count (ops/s)",
+        ["stack"] + ["%d conns" % n for n in CONN_COUNTS],
+    )
+    for stack in STACKS:
+        table.add_row(stack, *("%.0f" % results[stack][n] for n in CONN_COUNTS))
+    table.show()
+
+    small, mid, large = CONN_COUNTS
+    # In the cached regime FlexTOE leads Linux by a wide margin.
+    assert results["flextoe"][mid] > 2.0 * results["linux"][mid]
+    # TAS's host LLC makes it immune to connection count (the paper's
+    # explanation for TAS's lead on this workload). Deviation: in our
+    # model TAS does not overtake FlexTOE in absolute terms because its
+    # fast path is calibrated against Fig 9 (see EXPERIMENTS.md).
+    assert results["tas"][large] > 0.9 * results["tas"][small]
+    # FlexTOE declines once connections spill the CLS cache (paper:
+    # -24 % by 8K), but plateaus rather than collapsing.
+    decline = results["flextoe"][large] / results["flextoe"][small]
+    assert 0.55 < decline < 0.95
+    # Chelsio's epoll overhead hurts it as connections grow.
+    assert results["chelsio"][large] < results["flextoe"][large]

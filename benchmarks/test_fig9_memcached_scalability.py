@@ -1,0 +1,58 @@
+"""Figure 9: Memcached throughput scalability vs server cores.
+
+Paper: FlexTOE reaches up to 1.6x TAS, 4.9x Chelsio, and 5.5x Linux;
+FlexTOE and TAS scale with cores (per-core context queues) while Linux
+and Chelsio are held back by kernel locks/syscalls. The Agilio CX
+becomes the bottleneck around 12 host cores.
+
+Scaled here to {1, 2, 4, 8} cores and millisecond windows.
+"""
+
+from common import STACKS, MemcachedBench
+from conftest import run_once
+from repro.harness.report import Table
+
+CORE_COUNTS = (1, 2, 4, 8)
+
+
+def measure(stack, cores):
+    bench = MemcachedBench(stack, server_cores=cores, clients_per_core=24)
+    result = bench.run(window_ns=1_000_000)
+    return result["ops_per_sec"]
+
+
+def sweep():
+    return {
+        stack: {cores: measure(stack, cores) for cores in CORE_COUNTS} for stack in STACKS
+    }
+
+
+def test_fig9_memcached_scalability(benchmark):
+    results = run_once(benchmark, sweep)
+
+    table = Table(
+        "Figure 9: Memcached throughput vs server cores (ops/s)",
+        ["stack"] + ["{} cores".format(c) for c in CORE_COUNTS],
+    )
+    for stack in STACKS:
+        table.add_row(stack, *("%.0f" % results[stack][c] for c in CORE_COUNTS))
+    table.show()
+
+    peak = {stack: max(results[stack].values()) for stack in STACKS}
+    # FlexTOE outperforms every other stack at peak.
+    assert peak["flextoe"] > peak["tas"]
+    assert peak["flextoe"] > 2.5 * peak["chelsio"]
+    assert peak["flextoe"] > 2.5 * peak["linux"]
+    # FlexTOE and TAS scale with cores; Linux scales poorly (kernel lock).
+    assert results["flextoe"][4] > 1.5 * results["flextoe"][1]
+    # ... until the Agilio CX becomes the compute bottleneck (paper: at
+    # ~12 host cores; here the smaller simulated pipeline caps earlier).
+    assert results["flextoe"][8] < 2.0 * results["flextoe"][4]
+    assert results["tas"][4] > 2.0 * results["tas"][1]
+    # Linux collapses under lock contention past its scaling knee...
+    assert results["linux"][8] <= results["linux"][4]
+    # ...while the kernel-bypass designs keep scaling until their own
+    # bottleneck (TAS fast path / FlexTOE NIC pipeline).
+    linux_scaling = results["linux"][8] / results["linux"][1]
+    tas_scaling = results["tas"][8] / results["tas"][1]
+    assert tas_scaling > 1.5 * linux_scaling

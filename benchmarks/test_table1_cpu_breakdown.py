@@ -1,0 +1,66 @@
+"""Table 1: per-request CPU impact of TCP processing.
+
+Single-threaded Memcached under memtier load (32 B keys/values); the
+server machine's cycle accounting is divided by completed requests to
+give kilocycles per request-response pair, split by category — the
+paper's NIC driver / TCP stack / POSIX sockets / application / other
+rows.
+
+Paper (kc/request):  Linux 11.04, Chelsio 8.89, TAS 3.34, FlexTOE 1.67;
+FlexTOE spends 0 in driver+TCP and the application share doubles vs TAS.
+"""
+
+from common import STACKS, MemcachedBench
+from conftest import run_once
+from repro.harness.report import Table
+
+CATEGORIES = ("driver", "tcp", "sockets", "app", "other")
+
+
+def measure(stack):
+    bench = MemcachedBench(stack, server_cores=1, clients_per_core=8)
+    result = bench.run(window_ns=1_200_000)
+    acct = bench.server.machine.aggregate_accounting()
+    requests = max(1, result["completed"])
+    row = {cat: acct.cycles.get(cat, 0) / requests / 1000.0 for cat in CATEGORIES}
+    row["total"] = sum(row.values())
+    row["ops"] = result["ops_per_sec"]
+    return row
+
+
+def test_table1_cpu_breakdown(benchmark):
+    rows = run_once(benchmark, lambda: {stack: measure(stack) for stack in STACKS})
+
+    table = Table(
+        "Table 1: per-request host CPU impact (kilocycles/request)",
+        ["stack", "driver", "tcp", "sockets", "app", "other", "total"],
+    )
+    for stack in STACKS:
+        row = rows[stack]
+        table.add_row(
+            stack,
+            "%.2f" % row["driver"],
+            "%.2f" % row["tcp"],
+            "%.2f" % row["sockets"],
+            "%.2f" % row["app"],
+            "%.2f" % row["other"],
+            "%.2f" % row["total"],
+        )
+    table.show()
+
+    flextoe, linux, tas, chelsio = rows["flextoe"], rows["linux"], rows["tas"], rows["chelsio"]
+    # FlexTOE eliminates all host driver + TCP-stack cycles.
+    assert flextoe["driver"] == 0.0
+    assert flextoe["tcp"] == 0.0
+    # Total host cost ordering: FlexTOE < TAS < Chelsio <= Linux-ish.
+    assert flextoe["total"] < tas["total"] < chelsio["total"]
+    assert chelsio["total"] < linux["total"] * 1.15
+    # FlexTOE halves the per-request host cycles vs TAS (paper: 1.67 vs 3.34).
+    assert flextoe["total"] < 0.75 * tas["total"]
+    # Application share of total: FlexTOE roughly doubles TAS (53% vs 26%).
+    app_share_flextoe = flextoe["app"] / flextoe["total"]
+    app_share_tas = tas["app"] / tas["total"]
+    assert app_share_flextoe > 1.4 * app_share_tas
+    # Linux and Chelsio burn most cycles outside the application.
+    assert linux["app"] / linux["total"] < 0.30
+    assert chelsio["app"] / chelsio["total"] < 0.35

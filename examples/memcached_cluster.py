@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Memcached over FlexTOE vs the Linux baseline, side by side.
+
+The paper's headline application (§2.1/§5.1): a key-value server under
+closed-loop memtier load. This example runs the same workload against a
+FlexTOE-offloaded server and a Linux-stack server and prints throughput,
+latency, and the host-CPU cycle breakdown for each — Table 1 in
+miniature.
+
+Run:  python examples/memcached_cluster.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from common import MemcachedBench  # noqa: E402  (benchmark helper reuse)
+
+
+def run(stack):
+    bench = MemcachedBench(stack, server_cores=2, clients_per_core=12)
+    result = bench.run(window_ns=1_000_000)
+    acct = bench.server.machine.aggregate_accounting()
+    per_request = {
+        category: cycles / max(1, result["completed"])
+        for category, cycles in acct.cycles.items()
+    }
+    return result, per_request
+
+
+def main():
+    for stack in ("flextoe", "linux"):
+        result, per_request = run(stack)
+        hist = result["latency"]
+        print("== %s ==" % stack)
+        print("  throughput:  %.2f M ops/s" % (result["ops_per_sec"] / 1e6))
+        print("  latency p50: %.1f us   p99: %.1f us" % (
+            hist.percentile(50) / 1e3, hist.percentile(99) / 1e3))
+        print("  host cycles/request by category:")
+        for category in ("driver", "tcp", "sockets", "app", "other"):
+            print("    %-8s %8.0f" % (category, per_request.get(category, 0)))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; this file lets ``pip install -e . --no-build-isolation``
+fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

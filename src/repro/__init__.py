@@ -1,0 +1,22 @@
+"""FlexTOE reproduction: flexible TCP offload with fine-grained
+parallelism (NSDI 2022), on a simulated NPU SmartNIC testbed.
+
+Top-level convenience imports::
+
+    from repro import Testbed
+
+    bed = Testbed(seed=1)
+    server = bed.add_flextoe_host("server")
+
+Subpackages: ``sim`` (event kernel), ``proto`` (wire formats), ``net``
+(switch/links), ``nfp`` (the NFP-4000), ``host`` (CPUs/memory),
+``flextoe`` (the offloaded data-path), ``control`` (control plane),
+``libtoe`` (sockets), ``xdp`` (eBPF), ``baselines`` (Linux/TAS/Chelsio),
+``apps`` (workloads), ``stats``, ``harness``.
+"""
+
+__version__ = "1.0.0"
+
+from repro.harness import Testbed
+
+__all__ = ["Testbed", "__version__"]

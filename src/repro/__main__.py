@@ -1,0 +1,48 @@
+"""``python -m repro``: a 30-second self-demonstration.
+
+Builds the four-stack testbed, runs one echo RPC on each server stack,
+and prints a latency line per stack — a smoke test that the whole
+simulation (NIC pipeline, control plane, baselines, switch) is healthy.
+"""
+
+from repro.apps import EchoServer
+from repro.apps.rpc import ClosedLoopClient
+from repro.baselines import add_chelsio_host, add_linux_host, add_tas_host
+from repro.harness import Testbed
+
+
+def demo_stack(stack):
+    bed = Testbed(seed=7)
+    if stack == "flextoe":
+        server = bed.add_flextoe_host("server")
+    elif stack == "linux":
+        server = add_linux_host(bed, "server")
+    elif stack == "tas":
+        server = add_tas_host(bed, "server")
+    else:
+        server = add_chelsio_host(bed, "server")
+    client = bed.add_flextoe_host("client")
+    bed.seed_all_arp()
+    echo = EchoServer(server.new_context(), 7000, request_size=64)
+    bed.sim.process(echo.run(), name="echo")
+    rpc = ClosedLoopClient(client.new_context(), server.ip, 7000, 64, 64, warmup=5)
+    proc = bed.sim.process(rpc.run(50), name="rpc")
+    bed.sim.run(until=proc)
+    return rpc.histogram
+
+
+def main():
+    print("FlexTOE reproduction self-demo: 50 echo RPCs per server stack\n")
+    print("%-9s %10s %10s %10s" % ("stack", "p50 (us)", "p99 (us)", "min (us)"))
+    for stack in ("flextoe", "tas", "chelsio", "linux"):
+        hist = demo_stack(stack)
+        print(
+            "%-9s %10.1f %10.1f %10.1f"
+            % (stack, hist.percentile(50) / 1e3, hist.percentile(99) / 1e3, (hist.min_value or 0) / 1e3)
+        )
+    print("\nAll four stacks exchanged RPCs over the simulated testbed.")
+    print("Next: pytest tests/  |  pytest benchmarks/ --benchmark-only  |  examples/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Workload applications, stack-agnostic over the shared context API.
+
+* :mod:`repro.apps.echo` — multi-connection RPC echo server.
+* :mod:`repro.apps.rpc` — closed/open-loop RPC clients with latency
+  histograms and throughput meters (§5.2's workloads).
+* :mod:`repro.apps.memcached` — a key-value store speaking a compact
+  binary protocol (the §2.1/§5.1 application).
+* :mod:`repro.apps.memtier` — a memtier-style closed-loop KV load
+  generator (32-byte keys and values, persistent connections).
+"""
+
+from repro.apps.echo import EchoServer, run_echo_server
+from repro.apps.memcached import MemcachedServer, decode_request, encode_request, encode_response
+from repro.apps.memtier import MemtierClient
+from repro.apps.rpc import ClosedLoopClient, OpenLoopClient
+
+__all__ = [
+    "ClosedLoopClient",
+    "EchoServer",
+    "MemcachedServer",
+    "MemtierClient",
+    "OpenLoopClient",
+    "decode_request",
+    "encode_request",
+    "encode_response",
+    "run_echo_server",
+]

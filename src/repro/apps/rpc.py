@@ -1,0 +1,97 @@
+"""RPC clients: closed-loop (ping-pong) and open-loop (pipelined).
+
+Closed-loop clients measure per-RPC round-trip latency into a
+:class:`~repro.stats.LatencyHistogram`; open-loop clients keep a fixed
+number of RPCs pipelined per connection (the paper's saturated-server
+workload, §5.2)."""
+
+from repro.stats import LatencyHistogram, ThroughputMeter
+
+
+class ClosedLoopClient:
+    """One connection, one RPC in flight: request -> full response."""
+
+    def __init__(self, ctx, server_ip, port, request_size, response_size, warmup=10):
+        self.ctx = ctx
+        self.server_ip = server_ip
+        self.port = port
+        self.request_size = request_size
+        self.response_size = response_size
+        self.warmup = warmup
+        self.histogram = LatencyHistogram()
+        self.meter = ThroughputMeter(ctx.sim)
+        self.completed = 0
+        self.sock = None
+
+    def run(self, n_requests):
+        ctx = self.ctx
+        self.sock = yield from ctx.connect(self.server_ip, self.port)
+        request = b"Q" * self.request_size
+        for i in range(n_requests):
+            start = ctx.sim.now
+            yield from ctx.send(self.sock, request)
+            received = 0
+            while received < self.response_size:
+                chunk = yield from ctx.recv(self.sock, 256 * 1024)
+                if not chunk:
+                    return
+                received += len(chunk)
+            self.completed += 1
+            if i >= self.warmup:
+                self.histogram.record(ctx.sim.now - start)
+                self.meter.record(nbytes=self.request_size + self.response_size)
+
+
+class OpenLoopClient:
+    """One connection with up to ``pipeline`` RPCs outstanding."""
+
+    def __init__(self, ctx, server_ip, port, request_size, response_size, pipeline=8):
+        self.ctx = ctx
+        self.server_ip = server_ip
+        self.port = port
+        self.request_size = request_size
+        self.response_size = response_size
+        self.pipeline = pipeline
+        self.meter = ThroughputMeter(ctx.sim)
+        self.completed = 0
+        self.stop = False
+
+    def run(self):
+        """Runs until ``stop`` is set; sender and receiver overlap.
+
+        The receiver signals completions through a credit event so the
+        sender never depends on NIC notifications for its own wakeup."""
+        ctx = self.ctx
+        sock = yield from ctx.connect(self.server_ip, self.port)
+        state = {"outstanding": 0, "credit_event": None}
+        receiver = ctx.sim.process(self._receiver(sock, state), name="rpc-receiver")
+        request = b"Q" * self.request_size
+        while not self.stop:
+            while state["outstanding"] >= self.pipeline and not self.stop:
+                state["credit_event"] = ctx.sim.event()
+                yield state["credit_event"]
+                state["credit_event"] = None
+            if self.stop:
+                break
+            state["outstanding"] += 1
+            yield from ctx.send(sock, request)
+        if state["credit_event"] is not None and not state["credit_event"].triggered:
+            state["credit_event"].succeed()
+        yield receiver
+
+    def _receiver(self, sock, state):
+        ctx = self.ctx
+        pending = 0
+        while not self.stop:
+            chunk = yield from ctx.recv(sock, 256 * 1024)
+            if not chunk:
+                return
+            pending += len(chunk)
+            while pending >= self.response_size:
+                pending -= self.response_size
+                state["outstanding"] -= 1
+                self.completed += 1
+                self.meter.record(nbytes=self.request_size + self.response_size)
+                credit = state["credit_event"]
+                if credit is not None and not credit.triggered:
+                    credit.succeed()

@@ -1,0 +1,37 @@
+"""Baseline TCP stacks: Linux, TAS, and the Chelsio Terminator TOE.
+
+All three share one software TCP engine (:mod:`repro.baselines.engine`)
+that speaks the same wire format as FlexTOE over the simulated network;
+a *personality* parameterizes what differs in the paper's analysis:
+
+* **Linux** — in-kernel: syscall/driver/kernel cycle costs (Table 1),
+  a coarse kernel lock that throttles multi-core scaling (Fig 9),
+  SACK-based recovery + full reassembly (most loss-robust, Fig 15b),
+  delayed ACKs, interrupt latency.
+* **TAS** — kernel-bypass fast path on dedicated cores, per-core context
+  queues (scales like FlexTOE), go-back-N with OOO drop, low latency.
+* **Chelsio TOE** — TCP on the NIC (host cycles only for the kernel
+  driver + sockets), 100 Gbps unidirectional streaming strength, but
+  RTO-only recovery (Fig 15 collapse) and epoll-bound connection
+  scalability.
+"""
+
+from repro.baselines.engine import HostTcpEngine, TcpEngineConfig
+from repro.baselines.stack import BaselineContext, BaselineHost, BaselineSocket
+from repro.baselines.linux import LinuxPersonality, add_linux_host
+from repro.baselines.tas import TasPersonality, add_tas_host
+from repro.baselines.chelsio import ChelsioPersonality, add_chelsio_host
+
+__all__ = [
+    "BaselineContext",
+    "BaselineHost",
+    "BaselineSocket",
+    "ChelsioPersonality",
+    "HostTcpEngine",
+    "LinuxPersonality",
+    "TasPersonality",
+    "TcpEngineConfig",
+    "add_chelsio_host",
+    "add_linux_host",
+    "add_tas_host",
+]

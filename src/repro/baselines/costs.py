@@ -1,0 +1,108 @@
+"""Per-stack host cycle costs, calibrated to Table 1 of the paper.
+
+Table 1 reports kilocycles per Memcached request-response pair. A pair
+is one RX segment + one TX segment + one recv() + one send() (plus the
+ACKs). The constants below split the paper's per-pair numbers across
+those operations; benchmark shapes depend on the relative magnitudes,
+not the absolute values.
+"""
+
+
+class StackCosts:
+    """Host cycles charged per operation, by category."""
+
+    def __init__(
+        self,
+        driver_rx,
+        driver_tx,
+        tcp_rx,
+        tcp_tx,
+        sockets_recv,
+        sockets_send,
+        other_per_op,
+        per_kb_copy=40,
+        wakeup_latency_ns=0,
+        epoll_base=120,
+        epoll_per_conn_milli=0,
+        interrupt_delay_ns=0,
+        wakeup_jitter_prob=0.0,
+        wakeup_jitter_mult=1,
+    ):
+        self.driver_rx = driver_rx
+        self.driver_tx = driver_tx
+        self.tcp_rx = tcp_rx
+        self.tcp_tx = tcp_tx
+        self.sockets_recv = sockets_recv
+        self.sockets_send = sockets_send
+        self.other_per_op = other_per_op
+        self.per_kb_copy = per_kb_copy
+        #: Interrupt/scheduler wakeup latency for blocking IO.
+        self.wakeup_latency_ns = wakeup_latency_ns
+        self.epoll_base = epoll_base
+        #: Extra epoll cycles per watched connection, in millicycles.
+        self.epoll_per_conn_milli = epoll_per_conn_milli
+        #: Interrupt/softirq pipeline delay added to every received
+        #: segment (pure latency; does not occupy a core).
+        self.interrupt_delay_ns = interrupt_delay_ns
+        #: Host scheduler jitter: with this probability a blocking
+        #: wakeup takes ``mult`` times longer (tail-latency source).
+        self.wakeup_jitter_prob = wakeup_jitter_prob
+        self.wakeup_jitter_mult = wakeup_jitter_mult
+
+
+#: Linux: 11.04 kc/pair total — driver 750, TCP 2620, sockets 2700,
+#: other 3610 (Table 1), split across rx/tx halves.
+LINUX_COSTS = StackCosts(
+    driver_rx=400,
+    driver_tx=350,
+    tcp_rx=1500,
+    tcp_tx=1120,
+    sockets_recv=1350,
+    sockets_send=1350,
+    other_per_op=1800,
+    per_kb_copy=80,
+    wakeup_latency_ns=9_000,
+    epoll_base=700,
+    epoll_per_conn_milli=400,
+    interrupt_delay_ns=25_000,
+    wakeup_jitter_prob=0.03,
+    wakeup_jitter_mult=10,
+)
+
+#: TAS: 3.34 kc/pair — driver 180, TCP 1440 (fast-path cores),
+#: sockets 790, other 90.
+TAS_COSTS = StackCosts(
+    driver_rx=100,
+    driver_tx=80,
+    tcp_rx=800,
+    tcp_tx=640,
+    sockets_recv=395,
+    sockets_send=395,
+    other_per_op=45,
+    per_kb_copy=50,
+    wakeup_latency_ns=1_500,
+    epoll_base=160,
+    epoll_per_conn_milli=40,
+    wakeup_jitter_prob=0.03,
+    wakeup_jitter_mult=8,
+)
+
+#: Chelsio: 8.89 kc/pair — driver 1280 (complex TOE driver), TCP 400
+#: (residual host work), sockets 2610, other 3280; TCP itself is on the
+#: NIC. epoll dominates connection scalability (paper §5.2).
+CHELSIO_COSTS = StackCosts(
+    driver_rx=700,
+    driver_tx=580,
+    tcp_rx=220,
+    tcp_tx=180,
+    sockets_recv=1305,
+    sockets_send=1305,
+    other_per_op=1640,
+    per_kb_copy=45,
+    wakeup_latency_ns=5_000,
+    epoll_base=900,
+    epoll_per_conn_milli=900,
+    interrupt_delay_ns=2_500,
+    wakeup_jitter_prob=0.025,
+    wakeup_jitter_mult=18,
+)

@@ -1,0 +1,25 @@
+"""The FlexTOE control plane (paper §3.4).
+
+Runs in its own protection domain (host cores or SmartNIC control CPUs)
+and owns everything the one-shot data-path cannot do: ARP, the TCP
+connection state machine (handshake/teardown), retransmission timeouts,
+zero-window probes, per-flow congestion control (DCTCP / TIMELY), and
+policy (per-connection rate limits, per-application connection limits,
+port partitioning).
+"""
+
+from repro.control.cc import CongestionControl, Dctcp, Timely
+from repro.control.plane import ControlPlane, ControlPlaneConfig
+from repro.control.policy import PolicyConfig
+from repro.control.splice import SpliceError, SpliceManager
+
+__all__ = [
+    "CongestionControl",
+    "ControlPlane",
+    "ControlPlaneConfig",
+    "Dctcp",
+    "PolicyConfig",
+    "SpliceError",
+    "SpliceManager",
+    "Timely",
+]

@@ -1,0 +1,7 @@
+"""Congestion-control algorithms for the control-plane rate loop."""
+
+from repro.control.cc.base import CongestionControl, FlowCcState
+from repro.control.cc.dctcp import Dctcp
+from repro.control.cc.timely import Timely
+
+__all__ = ["CongestionControl", "Dctcp", "FlowCcState", "Timely"]

@@ -1,0 +1,63 @@
+"""TIMELY RTT-gradient congestion control (Mittal et al., SIGCOMM'15).
+
+Uses the data-path's timestamp-derived RTT estimate (paper §3.1.3: the
+post-processor computes accurate RTT estimates for exactly this). Rates
+adapt on the normalized RTT gradient, with low/high RTT thresholds for
+the hyperactive/additive regions.
+"""
+
+from repro.control.cc.base import CongestionControl
+
+
+class TimelyState:
+    __slots__ = ("prev_rtt_us", "rtt_diff_us")
+
+    def __init__(self):
+        self.prev_rtt_us = 0.0
+        self.rtt_diff_us = 0.0
+
+
+class Timely(CongestionControl):
+    def __init__(
+        self,
+        t_low_us=50,
+        t_high_us=500,
+        ewma_alpha=0.46,
+        beta=0.8,
+        additive_bps=40_000_000,
+        **kwargs
+    ):
+        super().__init__(**kwargs)
+        self.t_low_us = t_low_us
+        self.t_high_us = t_high_us
+        self.ewma_alpha = ewma_alpha
+        self.beta = beta
+        self.additive_bps = additive_bps
+
+    def update(self, flow, stats):
+        if flow.algo_state is None:
+            flow.algo_state = TimelyState()
+        state = flow.algo_state
+        rate = flow.rate_bps
+        if stats.fast_retransmits > 0:
+            return self.clamp(rate * self.beta)
+        rtt = stats.rtt_us
+        if rtt <= 0:
+            return self.clamp(rate)
+        if state.prev_rtt_us == 0:
+            state.prev_rtt_us = rtt
+            return self.clamp(rate)
+        new_diff = rtt - state.prev_rtt_us
+        state.prev_rtt_us = rtt
+        state.rtt_diff_us = (1 - self.ewma_alpha) * state.rtt_diff_us + self.ewma_alpha * new_diff
+        # min-RTT normalization: use t_low as the minimum-RTT proxy.
+        gradient = state.rtt_diff_us / max(1.0, self.t_low_us)
+        if rtt < self.t_low_us:
+            rate = rate + self.additive_bps
+        elif rtt > self.t_high_us:
+            rate = rate * (1.0 - self.beta * (1.0 - self.t_high_us / rtt))
+        elif gradient <= 0:
+            rate = rate + self.additive_bps
+        else:
+            rate = rate * (1.0 - self.beta * min(1.0, gradient))
+        return self.clamp(rate)

@@ -1,0 +1,112 @@
+"""Connection-control objects: listeners, pending handshakes, teardown.
+
+The data-path only ever sees established connections; everything before
+(SYN exchange) and after (state removal) lives here (paper §3.4).
+"""
+
+# Handshake states.
+SYN_SENT = "syn-sent"
+SYN_RCVD = "syn-rcvd"
+ESTABLISHED = "established"
+CLOSING = "closing"
+
+
+class EstablishedInfo:
+    """What the control plane hands libTOE when a connection is ready."""
+
+    __slots__ = ("conn_index", "four_tuple", "rx_buffer", "tx_buffer")
+
+    def __init__(self, conn_index, four_tuple, rx_buffer, tx_buffer):
+        self.conn_index = conn_index
+        self.four_tuple = four_tuple
+        self.rx_buffer = rx_buffer
+        self.tx_buffer = tx_buffer
+
+
+class Listener:
+    """A listening port: backlog of established connections + waiters."""
+
+    def __init__(self, ctx, port, backlog):
+        self.ctx = ctx
+        self.port = port
+        self.backlog = backlog
+        self.ready = []
+        self.waiters = []
+        self.dropped_overflow = 0
+
+    def deliver(self, info):
+        if self.waiters:
+            self.waiters.pop(0).succeed(info)
+            return True
+        if len(self.ready) >= self.backlog:
+            self.dropped_overflow += 1
+            return False
+        self.ready.append(info)
+        return True
+
+
+class PendingConnection:
+    """A handshake in progress (client SYN_SENT or server SYN_RCVD)."""
+
+    __slots__ = (
+        "state",
+        "four_tuple",
+        "iss",
+        "irs",
+        "peer_mac",
+        "ctx",
+        "listener",
+        "waiter",
+        "last_sent_at",
+        "attempts",
+        "remote_win",
+    )
+
+    def __init__(self, state, four_tuple, iss, ctx=None, listener=None, waiter=None):
+        self.state = state
+        self.four_tuple = four_tuple
+        self.iss = iss
+        self.irs = None
+        self.peer_mac = None
+        self.ctx = ctx
+        self.listener = listener
+        self.waiter = waiter
+        self.last_sent_at = 0
+        self.attempts = 0
+        self.remote_win = 0xFFFF
+
+
+class ConnectionDirectory:
+    """Control-plane view of offloaded connections (for timers/CC)."""
+
+    def __init__(self):
+        self.entries = {}
+
+    class Entry:
+        __slots__ = ("index", "record", "cc_flow", "last_snd_una", "stalled_since", "closing", "close_requested_at")
+
+        def __init__(self, index, record, cc_flow):
+            self.index = index
+            self.record = record
+            self.cc_flow = cc_flow
+            self.last_snd_una = None
+            self.stalled_since = None
+            self.closing = False
+            self.close_requested_at = None
+
+    def add(self, index, record, cc_flow):
+        entry = self.Entry(index, record, cc_flow)
+        self.entries[index] = entry
+        return entry
+
+    def remove(self, index):
+        return self.entries.pop(index, None)
+
+    def get(self, index):
+        return self.entries.get(index)
+
+    def __iter__(self):
+        return iter(list(self.entries.values()))
+
+    def __len__(self):
+        return len(self.entries)

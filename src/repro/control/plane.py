@@ -1,0 +1,457 @@
+"""The control plane proper: ARP, handshakes, timers, congestion control.
+
+One :class:`ControlPlane` serves one host's FlexTOE NIC. It drains the
+frames the data-path diverts (SYN/SYN-ACK/RST/ARP), runs the TCP
+connection state machine, installs/removes data-path state, retransmits
+on timeout (go-back-N via HC descriptors), sends zero-window probes, and
+runs the congestion-control rate loop.
+
+Simplification vs. a production stack (documented in DESIGN.md): the
+server side completes accept() when the SYN-ACK is sent rather than on
+the final handshake ACK — the data-path state is installed alongside the
+SYN-ACK so early data is handled; a lost SYN-ACK is covered by the
+client's SYN retransmission.
+"""
+
+from repro.control.cc.dctcp import Dctcp
+from repro.control.cc.base import CcStats
+from repro.control.connection import (
+    ConnectionDirectory,
+    EstablishedInfo,
+    Listener,
+    PendingConnection,
+    SYN_RCVD,
+    SYN_SENT,
+)
+from repro.control.policy import PolicyConfig
+from repro.flextoe.descriptors import HC_PROBE, HC_RETRANSMIT, HostControlDescriptor
+from repro.flextoe.proto_logic import WINDOW_SCALE
+from repro.libtoe.buffers import CircularBuffer
+from repro.libtoe.errors import ConnectRefusedError
+from repro.proto import (
+    ARP_REPLY,
+    ARP_REQUEST,
+    ArpHeader,
+    ETHERTYPE_ARP,
+    EthernetHeader,
+    Frame,
+    make_tcp_frame,
+)
+from repro.proto.tcp import FLAG_ACK, FLAG_RST, FLAG_SYN, TcpOptions
+
+BROADCAST_MAC = (1 << 48) - 1
+
+#: Control-plane context-queue id (reserved; app contexts start at 1).
+CONTROL_CONTEXT = 0
+
+
+class ControlPlaneConfig:
+    def __init__(
+        self,
+        rx_buffer_size=256 * 1024,
+        tx_buffer_size=256 * 1024,
+        rto_ns=250_000,
+        syn_rto_ns=1_000_000,
+        timer_tick_ns=50_000,
+        cc_interval_ns=50_000,
+        linger_ns=2_000_000,
+        mss=1448,
+    ):
+        self.rx_buffer_size = rx_buffer_size
+        self.tx_buffer_size = tx_buffer_size
+        self.rto_ns = rto_ns
+        self.syn_rto_ns = syn_rto_ns
+        self.timer_tick_ns = timer_tick_ns
+        self.cc_interval_ns = cc_interval_ns
+        self.linger_ns = linger_ns
+        self.mss = mss
+
+
+class ControlPlane:
+    """Connection and congestion control for one FlexTOE NIC."""
+
+    def __init__(
+        self,
+        sim,
+        nic,
+        machine,
+        local_mac,
+        local_ip,
+        cc=None,
+        cc_enabled=True,
+        config=None,
+        policy=None,
+    ):
+        self.sim = sim
+        self.nic = nic
+        self.machine = machine
+        self.local_mac = local_mac
+        self.local_ip = local_ip
+        self.cc = cc if cc is not None else Dctcp()
+        self.cc_enabled = cc_enabled
+        self.config = config or ControlPlaneConfig()
+        self.policy = policy or PolicyConfig()
+        self.nic.register_context(CONTROL_CONTEXT)
+        self.arp_table = {}
+        self._arp_waiters = {}
+        self.listeners = {}
+        self.pending = {}  # four_tuple -> PendingConnection
+        self.directory = ConnectionDirectory()
+        self._iss_counter = 10_000
+        self._ephemeral_port = 40_000
+        self.retransmits_posted = 0
+        self.probes_posted = 0
+        self.syn_retransmits = 0
+        sim.process(self._rx_loop(), name="cp-rx")
+        sim.process(self._timer_loop(), name="cp-timer")
+        sim.process(self._cc_loop(), name="cp-cc")
+
+    # -- small helpers -----------------------------------------------------
+
+    def seed_arp(self, ip, mac):
+        """Static ARP entry (used by the testbed builder for speed)."""
+        self.arp_table[ip] = mac
+
+    def _next_iss(self):
+        self._iss_counter += 64_000
+        return self._iss_counter & 0xFFFFFFFF
+
+    def _next_port(self):
+        self._ephemeral_port += 1
+        if self._ephemeral_port > 60_000:
+            self._ephemeral_port = 40_000
+        return self._ephemeral_port
+
+    def _syn_options(self):
+        return TcpOptions(mss=self.config.mss, wscale=WINDOW_SCALE, sack_permitted=False)
+
+    def _alloc_buffers(self):
+        rx_region = self.machine.memory.alloc(self.config.rx_buffer_size)
+        tx_region = self.machine.memory.alloc(self.config.tx_buffer_size)
+        return CircularBuffer(rx_region), CircularBuffer(tx_region)
+
+    def _tcp_frame(self, peer_mac, four_tuple, **kwargs):
+        local_ip, remote_ip, local_port, remote_port = four_tuple
+        return make_tcp_frame(
+            self.local_mac,
+            peer_mac,
+            local_ip,
+            remote_ip,
+            local_port,
+            remote_port,
+            born_at=self.sim.now,
+            **kwargs
+        )
+
+    # -- public API toward libTOE -------------------------------------------
+
+    def listen(self, ctx, port, backlog=128):
+        if port in self.listeners:
+            raise ValueError("port {} already bound".format(port))
+        listener = Listener(ctx, port, backlog)
+        self.listeners[port] = listener
+        return listener
+
+    def accept_wait(self, listener):
+        """Generator: wait for an established incoming connection."""
+        if listener.ready:
+            return listener.ready.pop(0)
+        waiter = self.sim.event()
+        listener.waiters.append(waiter)
+        info = yield waiter
+        return info
+
+    def connect(self, ctx, remote_ip, remote_port):
+        """Generator: active open; returns EstablishedInfo."""
+        peer_mac = yield from self._resolve(remote_ip)
+        local_port = self._next_port()
+        four = (self.local_ip, remote_ip, local_port, remote_port)
+        iss = self._next_iss()
+        pending = PendingConnection(SYN_SENT, four, iss, ctx=ctx, waiter=self.sim.event())
+        pending.peer_mac = peer_mac
+        self.pending[four] = pending
+        self._send_syn(pending)
+        info = yield pending.waiter
+        if info is None:
+            raise ConnectRefusedError("connect to {}:{} failed".format(remote_ip, remote_port))
+        return info
+
+    def notify_close(self, conn_index):
+        """libTOE close(): begin teardown monitoring for the connection."""
+        entry = self.directory.get(conn_index)
+        if entry is not None:
+            entry.closing = True
+            entry.close_requested_at = self.sim.now
+
+    # -- frame handling -----------------------------------------------------
+
+    def _rx_loop(self):
+        ring = self.nic.control_rx_ring()
+        while True:
+            frame = yield ring.get()
+            self._handle_frame(frame)
+
+    def _handle_frame(self, frame):
+        if frame.arp is not None:
+            self._handle_arp(frame)
+            return
+        if frame.tcp is None:
+            return
+        tcp = frame.tcp
+        if tcp.flags & FLAG_RST:
+            self._handle_rst(frame)
+            return
+        if tcp.flags & FLAG_SYN and not (tcp.flags & FLAG_ACK):
+            self._handle_syn(frame)
+            return
+        if tcp.flags & FLAG_SYN and tcp.flags & FLAG_ACK:
+            self._handle_syn_ack(frame)
+            return
+        # Stray data-path segment for an unknown connection: RST it so
+        # the peer tears down (unless it is a bare duplicate handshake ACK).
+        if tcp.flags & FLAG_ACK and not frame.payload:
+            return
+        self._send_rst(frame)
+
+    def _handle_arp(self, frame):
+        arp = frame.arp
+        if arp.op == ARP_REQUEST and arp.target_ip == self.local_ip:
+            reply = arp.reply(self.local_mac)
+            eth = EthernetHeader(dst=arp.sender_mac, src=self.local_mac, ethertype=ETHERTYPE_ARP)
+            self.nic.control_tx(Frame(eth, arp=reply, born_at=self.sim.now))
+            self.arp_table[arp.sender_ip] = arp.sender_mac
+        elif arp.op == ARP_REPLY:
+            self.arp_table[arp.sender_ip] = arp.sender_mac
+            for waiter in self._arp_waiters.pop(arp.sender_ip, []):
+                waiter.succeed(arp.sender_mac)
+
+    def _resolve(self, ip):
+        """Generator: ARP resolution with one retry."""
+        if ip in self.arp_table:
+            return self.arp_table[ip]
+        waiter = self.sim.event()
+        self._arp_waiters.setdefault(ip, []).append(waiter)
+        request = ArpHeader.request(self.local_mac, self.local_ip, ip)
+        eth = EthernetHeader(dst=BROADCAST_MAC, src=self.local_mac, ethertype=ETHERTYPE_ARP)
+        self.nic.control_tx(Frame(eth, arp=request, born_at=self.sim.now))
+        result = yield self.sim.any_of([waiter, self.sim.timeout(5_000_000)])
+        if ip in self.arp_table:
+            return self.arp_table[ip]
+        # Retry once, then fail.
+        self.nic.control_tx(Frame(eth.copy(), arp=request, born_at=self.sim.now))
+        yield self.sim.timeout(5_000_000)
+        if ip in self.arp_table:
+            return self.arp_table[ip]
+        raise ConnectRefusedError("ARP resolution failed for {}".format(ip))
+
+    def _handle_syn(self, frame):
+        port = frame.tcp.dport
+        listener = self.listeners.get(port)
+        if listener is None:
+            self._send_rst(frame)
+            return
+        four = (self.local_ip, frame.ip.src, port, frame.tcp.sport)
+        if four in self.pending:
+            # SYN retransmission: resend our SYN-ACK.
+            self._send_syn_ack(self.pending[four])
+            return
+        if not self.policy.admit(len(self.directory)):
+            self._send_rst(frame)
+            return
+        pending = PendingConnection(SYN_RCVD, four, self._next_iss(), listener=listener)
+        pending.irs = (frame.tcp.seq + 1) & 0xFFFFFFFF
+        pending.peer_mac = frame.eth.src
+        pending.remote_win = frame.tcp.window
+        self.arp_table.setdefault(frame.ip.src, frame.eth.src)
+        self.pending[four] = pending
+        self._send_syn_ack(pending)
+        # Install the data-path state now (see module docstring).
+        self._establish(pending)
+
+    def _handle_syn_ack(self, frame):
+        four = (self.local_ip, frame.ip.src, frame.tcp.dport, frame.tcp.sport)
+        pending = self.pending.get(four)
+        if pending is None or pending.state != SYN_SENT:
+            return
+        pending.irs = (frame.tcp.seq + 1) & 0xFFFFFFFF
+        pending.remote_win = frame.tcp.window
+        # Final handshake ACK.
+        ack = self._tcp_frame(
+            pending.peer_mac,
+            four,
+            seq=(pending.iss + 1) & 0xFFFFFFFF,
+            ack=pending.irs,
+            flags=FLAG_ACK,
+            window=0xFFFF,
+        )
+        self.nic.control_tx(ack)
+        self._establish(pending)
+
+    def _handle_rst(self, frame):
+        four = (self.local_ip, frame.ip.src, frame.tcp.dport, frame.tcp.sport)
+        pending = self.pending.pop(four, None)
+        if pending is not None and pending.waiter is not None:
+            pending.waiter.succeed(None)
+
+    def _send_rst(self, frame):
+        rst = make_tcp_frame(
+            self.local_mac,
+            frame.eth.src,
+            self.local_ip,
+            frame.ip.src,
+            frame.tcp.dport,
+            frame.tcp.sport,
+            seq=frame.tcp.ack,
+            ack=(frame.tcp.seq + len(frame.payload)) & 0xFFFFFFFF,
+            flags=FLAG_RST | FLAG_ACK,
+            born_at=self.sim.now,
+        )
+        self.nic.control_tx(rst)
+
+    def _send_syn(self, pending):
+        syn = self._tcp_frame(
+            pending.peer_mac,
+            pending.four_tuple,
+            seq=pending.iss,
+            flags=FLAG_SYN,
+            window=0xFFFF,
+            options=self._syn_options(),
+        )
+        pending.last_sent_at = self.sim.now
+        pending.attempts += 1
+        self.nic.control_tx(syn)
+
+    def _send_syn_ack(self, pending):
+        syn_ack = self._tcp_frame(
+            pending.peer_mac,
+            pending.four_tuple,
+            seq=pending.iss,
+            ack=pending.irs,
+            flags=FLAG_SYN | FLAG_ACK,
+            window=0xFFFF,
+            options=self._syn_options(),
+        )
+        pending.last_sent_at = self.sim.now
+        pending.attempts += 1
+        self.nic.control_tx(syn_ack)
+
+    # -- establishment -----------------------------------------------------
+
+    def _establish(self, pending):
+        self.pending.pop(pending.four_tuple, None)
+        rx_buffer, tx_buffer = self._alloc_buffers()
+        index = self.nic.allocate_connection_index()
+        ctx = pending.ctx if pending.ctx is not None else pending.listener.ctx
+        record = self.nic.offload_connection(
+            index=index,
+            four_tuple=pending.four_tuple,
+            peer_mac=pending.peer_mac,
+            local_mac=self.local_mac,
+            iss=(pending.iss + 1) & 0xFFFFFFFF,
+            irs=pending.irs,
+            context_id=ctx.context_id,
+            opaque=index,
+            rx_buffer=rx_buffer.as_triple(),
+            tx_buffer=tx_buffer.as_triple(),
+            remote_win=pending.remote_win << WINDOW_SCALE,
+        )
+        flow = self.cc.new_flow()
+        if self.policy.rate_limit_bps is not None:
+            flow.rate_bps = min(flow.rate_bps, self.policy.rate_limit_bps)
+        self.directory.add(index, record, flow)
+        self._program_rate(index, flow)
+        info = EstablishedInfo(index, pending.four_tuple, rx_buffer, tx_buffer)
+        if pending.waiter is not None:
+            pending.waiter.succeed(info)
+        elif pending.listener is not None:
+            pending.listener.deliver(info)
+
+    def _program_rate(self, index, flow):
+        if not self.cc_enabled:
+            self.nic.set_flow_rate(index, 0)
+            return
+        self.nic.set_flow_rate(index, self.cc.scheduler_rate(flow))
+
+    # -- timers ------------------------------------------------------------
+
+    def _timer_loop(self):
+        config = self.config
+        while True:
+            yield self.sim.timeout(config.timer_tick_ns)
+            now = self.sim.now
+            # Handshake retransmissions.
+            for pending in list(self.pending.values()):
+                if now - pending.last_sent_at < config.syn_rto_ns:
+                    continue
+                if pending.attempts >= 8:
+                    self.pending.pop(pending.four_tuple, None)
+                    if pending.waiter is not None and not pending.waiter.triggered:
+                        pending.waiter.succeed(None)
+                    continue
+                if pending.state == SYN_SENT:
+                    self.syn_retransmits += 1
+                    self._send_syn(pending)
+                else:
+                    self.syn_retransmits += 1
+                    self._send_syn_ack(pending)
+            # Data-path retransmission timeouts and zero-window probes.
+            for entry in self.directory:
+                proto = entry.record.proto
+                rto = max(config.rto_ns, 4_000 * max(1, entry.record.post.rtt_est))
+                if proto.tx_sent > 0:
+                    snd_una = (proto.seq - proto.tx_sent) & 0xFFFFFFFF
+                    if entry.last_snd_una != snd_una:
+                        entry.last_snd_una = snd_una
+                        entry.stalled_since = now
+                    elif entry.stalled_since is not None and now - entry.stalled_since > rto:
+                        entry.stalled_since = now
+                        self.retransmits_posted += 1
+                        self.nic.post_hc(
+                            CONTROL_CONTEXT,
+                            HostControlDescriptor(HC_RETRANSMIT, entry.index),
+                        )
+                elif proto.tx_avail > 0 and proto.remote_win == 0:
+                    if entry.stalled_since is None:
+                        entry.stalled_since = now
+                    elif now - entry.stalled_since > rto:
+                        entry.stalled_since = now
+                        self.probes_posted += 1
+                        self.nic.post_hc(
+                            CONTROL_CONTEXT, HostControlDescriptor(HC_PROBE, entry.index)
+                        )
+                else:
+                    entry.stalled_since = None
+                # Teardown: remove once closed on both sides (or linger out).
+                if entry.closing:
+                    done = (
+                        proto.fin_seq is None
+                        and not proto.fin_pending
+                        and proto.tx_sent == 0
+                        and proto.rx_fin_seq is not None
+                    )
+                    lingered = now - entry.close_requested_at > config.linger_ns
+                    if done or lingered:
+                        self.directory.remove(entry.index)
+                        self.nic.remove_connection(entry.index)
+
+    # -- congestion control ---------------------------------------------------
+
+    def _cc_loop(self):
+        config = self.config
+        while True:
+            yield self.sim.timeout(config.cc_interval_ns)
+            if not self.cc_enabled:
+                continue
+            for entry in self.directory:
+                raw = self.nic.read_cc_stats(entry.index)
+                if raw is None:
+                    continue
+                acked, ecnb, fretx, rtt = raw
+                stats = CcStats(acked, ecnb, fretx, rtt)
+                entry.cc_flow.last_rtt_us = rtt
+                new_rate = self.cc.update(entry.cc_flow, stats)
+                if self.policy.rate_limit_bps is not None:
+                    new_rate = min(new_rate, self.policy.rate_limit_bps)
+                if new_rate != entry.cc_flow.rate_bps:
+                    entry.cc_flow.rate_bps = new_rate
+                    self._program_rate(entry.index, entry.cc_flow)

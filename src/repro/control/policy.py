@@ -1,0 +1,32 @@
+"""Control-plane policies (paper §3.4 / [50]): per-connection rate
+limits, per-application connection limits, and port partitioning."""
+
+
+class PolicyConfig:
+    """Admission and rate policies enforced at connection setup."""
+
+    def __init__(
+        self,
+        max_connections_per_app=None,
+        rate_limit_bps=None,
+        port_ranges=None,
+    ):
+        self.max_connections_per_app = max_connections_per_app
+        self.rate_limit_bps = rate_limit_bps
+        #: {app_label: (low_port, high_port)} exclusive port partitions.
+        self.port_ranges = port_ranges or {}
+
+    def port_allowed(self, app_label, port):
+        if not self.port_ranges:
+            return True
+        owned = self.port_ranges.get(app_label)
+        if owned is None:
+            # Apps without a partition may not use partitioned ports.
+            return not any(low <= port <= high for low, high in self.port_ranges.values())
+        low, high = owned
+        return low <= port <= high
+
+    def admit(self, app_connection_count):
+        if self.max_connections_per_app is None:
+            return True
+        return app_connection_count < self.max_connections_per_app

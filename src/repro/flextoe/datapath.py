@@ -1,0 +1,290 @@
+"""Data-path assembly: rings, sequencers, FPC assignment (paper Fig. 8).
+
+The full deployment uses four *protocol islands* (one flow-group each:
+4 pre FPCs + 1 protocol FPC + 4 post FPCs, 3 FPCs free for extension
+modules) and one *service island* (context-queue FPCs ARX/ATX, the flow
+scheduler SCH, DMA managers, NBI drain, GRO/BLM sequencing). Reduced
+configurations (Table 3 ablation rows) claim proportionally fewer FPCs;
+the run-to-completion baseline executes every stage inline on a single
+FPC thread.
+"""
+
+from collections import deque
+
+from repro.flextoe.ctxq import ContextQueuePair
+from repro.flextoe.descriptors import SegWork, WORK_RX, WORK_TX
+from repro.flextoe.scheduler import CarouselScheduler
+from repro.flextoe.seqr import ReorderBuffer, Sequencer
+from repro.flextoe.stages import CtxStage, DmaStage, NbiStage, PostStage, PreStage, ProtocolStage
+from repro.flextoe.statecache import EmemStateCache, StateCache
+from repro.flextoe.state import ConnectionTable
+from repro.flextoe.tracing import TracepointRegistry
+from repro.nfp.memory import LAT_IMEM
+from repro.proto.ip import ECN_ECT0, ECN_NOT_ECT
+from repro.proto.packet import Frame
+from repro.sim import Resource, Store
+from repro.nfp.queues import ClsRing, WorkQueue
+
+
+class _ImemLevel:
+    __slots__ = ("latency_cycles", "reads", "writes")
+
+    def __init__(self):
+        self.latency_cycles = LAT_IMEM
+        self.reads = 0
+        self.writes = 0
+
+
+class _TxTriggerAdapter:
+    """Presents the pre-stage input ring as the scheduler's TX ring,
+    wrapping connection indices into SegWork items."""
+
+    def __init__(self, dp):
+        self.dp = dp
+
+    def put(self, conn_index):
+        work = SegWork(WORK_TX, born_at=self.dp.sim.now)
+        work.conn_index = conn_index
+        return self.dp.pre_in.put(work)
+
+
+class FlexToeDatapath:
+    """The wired pipeline on a given NFP chip."""
+
+    def __init__(self, sim, chip, config, capture=None, ingress_modules=None, egress_modules=None):
+        self.sim = sim
+        self.chip = chip
+        self.config = config
+        self.mac = chip.mac
+        self.pcie = chip.pcie
+        self.dma = chip.dma
+        self.lookup_engine = chip.lookup_engine
+        self.conn_table = ConnectionTable()
+        self.tracepoints = TracepointRegistry(enabled=config.tracepoints_enabled)
+        self.capture = capture
+        self.ingress_modules = ingress_modules
+        self.egress_modules = egress_modules
+        self.contexts = {}
+        self.stats = {}
+        self.ecn_codepoint = ECN_ECT0 if config.use_ecn else ECN_NOT_ECT
+        self.imem_latency_level = _ImemLevel()
+
+        cap = config.ring_capacity
+        self.pre_in = WorkQueue(sim, capacity=None, name="pre-in", backing="imem")
+        self.proto_rings = [ClsRing(sim, capacity=cap, name="proto-in-%d" % g) for g in range(config.n_flow_groups)]
+        self.post_rings = [ClsRing(sim, capacity=cap, name="post-in-%d" % g) for g in range(config.n_flow_groups)]
+        self.dma_ring = WorkQueue(sim, capacity=None, name="dma-in", backing="imem")
+        self.ctx_ring = WorkQueue(sim, capacity=None, name="ctx-in", backing="imem")
+        self.nbi_ring = WorkQueue(sim, capacity=None, name="nbi-in", backing="imem")
+        self.control_ring = Store(sim, name="to-control")
+
+        # Sequencing domains (§3.2).
+        self.rx_seqr = Sequencer()
+        self.rx_gro = ReorderBuffer(sim, output_fn=self._route_to_protocol, name="rx-gro")
+        self.nbi_seqr = Sequencer()
+        self.nbi_gro = ReorderBuffer(sim, output_ring=self.nbi_ring, name="nbi-gro")
+
+        # Bounded NIC resources.
+        self.ctm_pool = Resource(sim, capacity=max(8, 64 * config.n_flow_groups), name="ctm-segments")
+        # Run-to-completion baseline: one segment in the whole NIC at a
+        # time — service programs contend on this lock (Table 3 row 1).
+        self.serial_lock = None if config.pipelined else Resource(sim, capacity=1, name="rtc-serial")
+        self.descriptor_pool = Resource(sim, capacity=config.descriptor_pool, name="hc-descriptors")
+        self._held_descriptors = deque()
+
+        # Flow scheduler (service island SCH FPC).
+        self.scheduler = CarouselScheduler(
+            sim, _TxTriggerAdapter(self), mss=config.mss, costs=config.costs
+        )
+
+        # Stage objects.
+        self.emem_state_cache = EmemStateCache(capacity_records=config.emem_cache_records)
+        self.pre_stages = []
+        self.protocol_stages = []
+        self.post_stages = []
+        self.dma_stages = []
+        self.nbi_stage = NbiStage(self)
+        self.ctx_stage = CtxStage(self)
+
+        self.rx_frames_seen = 0
+        self.rx_frames_dropped_full = 0
+
+        self._assign_fpcs()
+        self.mac.rx_handler = self._on_mac_rx
+
+    # -- construction ------------------------------------------------------
+
+    def _assign_fpcs(self):
+        config = self.config
+        chip = self.chip
+        if not config.pipelined:
+            self._assign_run_to_completion()
+            return
+        threads = config.threads_per_fpc
+        # Protocol islands: flow-groups spread over the first N islands.
+        for group in range(config.n_flow_groups):
+            island = chip.islands[group % max(1, len(chip.islands) - 1)]
+            cache = StateCache(
+                lmem_entries=config.state_cache_lmem_entries,
+                cls_entries=config.state_cache_cls_entries,
+                emem_cache=self.emem_state_cache,
+            )
+            stage = ProtocolStage(self, group, cache)
+            self.protocol_stages.append(stage)
+            fpc = island.claim_fpc()
+            for _ in range(threads):
+                fpc.spawn(stage.program, name="proto-g%d" % group)
+            for replica in range(config.pre_replicas):
+                pre = PreStage(self, replica_id=replica)
+                self.pre_stages.append(pre)
+                pre_fpc = island.claim_fpc()
+                for _ in range(threads):
+                    pre_fpc.spawn(pre.program, name="pre-g%d-r%d" % (group, replica))
+            for replica in range(config.post_replicas):
+                post = PostStage(self, group, replica_id=replica)
+                self.post_stages.append(post)
+                post_fpc = island.claim_fpc()
+                for _ in range(threads):
+                    post_fpc.spawn(post.program, name="post-g%d-r%d" % (group, replica))
+        # Service island: DMA managers, NBI, context queues, scheduler.
+        service = chip.islands[-1]
+        for replica in range(config.dma_replicas):
+            dma = DmaStage(self, replica_id=replica)
+            self.dma_stages.append(dma)
+            fpc = service.claim_fpc()
+            for _ in range(threads):
+                fpc.spawn(dma.program, name="dma-r%d" % replica)
+        nbi_fpc = service.claim_fpc()
+        for _ in range(max(1, threads // 2)):
+            nbi_fpc.spawn(self.nbi_stage.program, name="nbi")
+        ctx_fpc = service.claim_fpc()
+        ctx_fpc.spawn(self.ctx_stage.atx_program, name="ctx-atx")
+        for _ in range(max(1, threads - 1)):
+            ctx_fpc.spawn(self.ctx_stage.arx_program, name="ctx-arx")
+        sched_fpc = service.claim_fpc()
+        sched_fpc.spawn(self.scheduler.program, name="sch")
+
+    def _assign_run_to_completion(self):
+        """Table 3 baseline: the whole TCP data-path on one FPC thread.
+
+        Stage *logic* is reused; only the execution structure changes:
+        one worker thread pulls from a single merged queue and runs
+        pre/protocol/post/DMA for each item to completion, waiting out
+        every memory and PCIe latency inline. Service-infrastructure
+        programs (scheduler, doorbell watcher, NBI drain) still run, on
+        the same island.
+        """
+        chip = self.chip
+        island = chip.islands[0]
+        cache = StateCache(
+            lmem_entries=self.config.state_cache_lmem_entries,
+            cls_entries=self.config.state_cache_cls_entries,
+            emem_cache=self.emem_state_cache,
+        )
+        pre = PreStage(self)
+        proto = ProtocolStage(self, 0, cache)
+        post = PostStage(self, 0)
+        dma = DmaStage(self)
+        self.pre_stages.append(pre)
+        self.protocol_stages.append(proto)
+        self.post_stages.append(post)
+        self.dma_stages.append(dma)
+
+        worker_fpc = island.claim_fpc()
+
+        def worker(thread):
+            while True:
+                work = yield self.pre_in.get()
+                grant = yield self.serial_lock.request()
+                try:
+                    yield from run_item(thread, work)
+                finally:
+                    grant.release()
+
+        def run_item(thread, work):
+            if work.kind == WORK_RX:
+                yield from pre._handle_rx(thread, work)
+            elif work.kind == WORK_TX:
+                yield from pre._handle_tx(thread, work)
+            else:
+                yield from pre._handle_hc(thread, work)
+            ok, work = self.proto_rings[0].store.try_get()
+            if not ok:
+                return
+            yield from proto._process_one(thread, work)
+            ok, work = self.post_rings[0].store.try_get()
+            if not ok:
+                return
+            yield from post._process(thread, work)
+            ok, work = self.dma_ring.store.try_get()
+            if not ok:
+                return
+            yield from dma._process(thread, work)
+
+        worker_fpc.spawn(worker, name="run-to-completion")
+        nbi_fpc = island.claim_fpc()
+        nbi_fpc.spawn(self.nbi_stage.program, name="nbi")
+        ctx_fpc = island.claim_fpc()
+        ctx_fpc.spawn(self.ctx_stage.atx_program, name="ctx-atx")
+        ctx_fpc.spawn(self.ctx_stage.arx_program, name="ctx-arx")
+        sched_fpc = island.claim_fpc()
+        sched_fpc.spawn(self.scheduler.program, name="sch")
+
+    # -- runtime entry points ----------------------------------------------
+
+    def _on_mac_rx(self, frame):
+        self.rx_frames_seen += 1
+        work = SegWork(WORK_RX, frame=frame, born_at=self.sim.now)
+        self.rx_seqr.assign(work)
+        if not self.pre_in.try_put(work):
+            self.rx_frames_dropped_full += 1
+            self.rx_gro.skip(work.pipeline_seq)
+
+    def _route_to_protocol(self, work):
+        ring = self.proto_rings[work.flow_group]
+        if not ring.try_put(work):
+            ring.store.force_put(work)
+
+    def make_frame(self, eth, ip, tcp):
+        return Frame(eth, ip=ip, tcp=tcp, born_at=self.sim.now)
+
+    def nic_transmit_direct(self, frame):
+        """Bypass transmit for XDP_TX and control-plane frames."""
+        self.mac.transmit(frame)
+
+    # -- descriptor pool -----------------------------------------------------
+
+    def hold_descriptor(self, grant):
+        self._held_descriptors.append(grant)
+
+    def release_descriptor(self):
+        if self._held_descriptors:
+            self._held_descriptors.popleft().release()
+
+    # -- host/control interfaces ---------------------------------------------
+
+    def register_context(self, context_id, capacity=1024):
+        pair = ContextQueuePair(self.sim, context_id, capacity=capacity)
+        self.contexts[context_id] = pair
+        return pair
+
+    def post_hc(self, context_id, descriptor):
+        """libTOE helper: append a descriptor and ring the doorbell."""
+        pair = self.contexts[context_id]
+        if not pair.post_hc(descriptor):
+            return False
+        self.pcie.ring("hc")
+        return True
+
+    def install_connection(self, record):
+        self.conn_table.install(record)
+        self.lookup_engine.insert(record.four_tuple, record.index)
+
+    def remove_connection(self, index):
+        record = self.conn_table.remove(index)
+        if record is not None:
+            self.lookup_engine.remove(record.four_tuple)
+            self.scheduler.remove_flow(index)
+        for stage in self.protocol_stages:
+            stage.state_cache.invalidate(index)
+        return record

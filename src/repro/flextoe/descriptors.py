@@ -1,0 +1,196 @@
+"""Work items and descriptors moving through the data-path.
+
+* :class:`SegWork` — the pipeline's unit of work for RX/TX segments.
+* :class:`HostControlDescriptor` — host->NIC context-queue entries
+  (transmit window updates, receive window updates, retransmit, FIN).
+* :class:`Notification` — NIC->host context-queue entries (received
+  payload, acknowledged bytes, peer FIN).
+"""
+
+import itertools
+
+# Host-control descriptor kinds (libTOE / control-plane -> NIC).
+HC_TX_UPDATE = "tx_update"
+HC_RX_UPDATE = "rx_update"
+HC_RETRANSMIT = "retransmit"
+HC_FIN = "fin"
+HC_PROBE = "probe"  # zero-window probe (control-plane persist timer)
+
+# Notification kinds (NIC -> libTOE).
+NOTIFY_RX = "rx"
+NOTIFY_TX_ACKED = "tx_acked"
+NOTIFY_FIN = "fin"
+
+# SegWork kinds.
+WORK_RX = "rx"
+WORK_TX = "tx"
+WORK_HC = "hc"
+WORK_ACK = "ack"
+
+_work_ids = itertools.count(1)
+
+
+class HostControlDescriptor:
+    """A context-queue entry from host to NIC (paper §3.1.1).
+
+    ``value`` is the byte count for window updates; descriptors may be
+    batched on a queue behind a single doorbell.
+    """
+
+    __slots__ = ("kind", "conn_index", "value", "fin", "posted_at")
+
+    def __init__(self, kind, conn_index, value=0, fin=False, posted_at=0):
+        self.kind = kind
+        self.conn_index = conn_index
+        self.value = value
+        self.fin = fin
+        self.posted_at = posted_at
+
+    def __repr__(self):
+        return "<HC {} conn={} value={}{}>".format(
+            self.kind, self.conn_index, self.value, " FIN" if self.fin else ""
+        )
+
+
+class Notification:
+    """A context-queue entry from NIC to host.
+
+    For ``NOTIFY_RX``: ``offset``/``length`` locate new payload in the
+    socket's RX buffer. For ``NOTIFY_TX_ACKED``: ``length`` transmit
+    bytes were acknowledged and may be reused by libTOE.
+    """
+
+    __slots__ = ("kind", "opaque", "conn_index", "context_id", "offset", "length", "created_at")
+
+    def __init__(self, kind, opaque, conn_index, context_id=0, offset=0, length=0, created_at=0):
+        self.kind = kind
+        self.opaque = opaque
+        self.conn_index = conn_index
+        self.context_id = context_id
+        self.offset = offset
+        self.length = length
+        self.created_at = created_at
+
+    def __repr__(self):
+        return "<Notify {} conn={} off={} len={}>".format(self.kind, self.conn_index, self.offset, self.length)
+
+
+class SegWork:
+    """A unit of pipeline work.
+
+    Fields are populated progressively by the stages; per the module API
+    (§3.3) stages communicate only through these metadata fields, never
+    by reaching into each other's state partitions.
+    """
+
+    __slots__ = (
+        "kind",
+        "work_id",
+        "pipeline_seq",
+        "frame",
+        "conn_index",
+        "flow_group",
+        "summary",
+        "snapshot",
+        "hc",
+        "tx_len",
+        "tx_offset",
+        "rx_offset",
+        "rx_trimmed_payload",
+        "notify",
+        "ack_frame",
+        "drop",
+        "born_at",
+    )
+
+    def __init__(self, kind, frame=None, hc=None, born_at=0):
+        self.kind = kind
+        self.work_id = next(_work_ids)
+        self.pipeline_seq = None
+        self.frame = frame
+        self.conn_index = None
+        self.flow_group = None
+        self.summary = None
+        self.snapshot = None
+        self.hc = hc
+        self.tx_len = 0
+        self.tx_offset = 0
+        self.rx_offset = None
+        self.rx_trimmed_payload = None
+        self.notify = None
+        self.ack_frame = None
+        self.drop = False
+        self.born_at = born_at
+
+    def __repr__(self):
+        return "<SegWork#{} {} conn={} seq={}>".format(
+            self.work_id, self.kind, self.conn_index, self.pipeline_seq
+        )
+
+
+class ProtoSnapshot:
+    """The protocol stage's snapshot of relevant connection state,
+    forwarded to post-processing (§3.1.3: stages communicate explicitly,
+    never by sharing state)."""
+
+    __slots__ = (
+        "kind",
+        "ack_seq",
+        "ack_ack",
+        "window",
+        "echo_ts",
+        "ece",
+        "send_ack",
+        "dup_ack",
+        "fs_sendable",
+        "acked_bytes",
+        "notify_rx_pos",
+        "notify_rx_len",
+        "fin_notified",
+        "fast_retransmit",
+        "payload_dest_pos",
+        "payload",
+        "rtt_sample_ecr",
+        "tx",
+        "free_descriptor",
+        "send_window_update",
+    )
+
+    def __init__(self, kind):
+        self.kind = kind
+        self.ack_seq = 0
+        self.ack_ack = 0
+        self.window = 0
+        self.echo_ts = None
+        self.ece = False
+        self.send_ack = False
+        self.dup_ack = False
+        self.fs_sendable = None
+        self.acked_bytes = 0
+        self.notify_rx_pos = None
+        self.notify_rx_len = 0
+        self.fin_notified = False
+        self.fast_retransmit = False
+        self.payload_dest_pos = None
+        self.payload = b""
+        self.rtt_sample_ecr = None
+        self.tx = None
+        self.free_descriptor = False
+        self.send_window_update = False
+
+
+class HeaderSummary:
+    """The pre-processor's header summary (§3.1.3): just the fields later
+    stages need, so the full headers never cross islands."""
+
+    __slots__ = ("seq", "ack", "flags", "window", "payload_len", "ts_val", "ts_ecr", "ce_marked")
+
+    def __init__(self, seq, ack, flags, window, payload_len, ts_val=None, ts_ecr=None, ce_marked=False):
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+        self.payload_len = payload_len
+        self.ts_val = ts_val
+        self.ts_ecr = ts_ecr
+        self.ce_marked = ce_marked

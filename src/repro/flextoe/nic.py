@@ -1,0 +1,140 @@
+"""The FlexTOE NIC: chip + data-path + the interfaces the host sees.
+
+:class:`FlexToeNic` is what experiments instantiate: it owns an
+:class:`~repro.nfp.Nfp4000`, wires the data-path, and exposes
+
+* the network attachment (``attach_port``),
+* the libTOE interface (contexts, doorbells, notifications),
+* the control-plane interface (connection install/remove, raw frame
+  TX/RX, congestion statistics, scheduler rate programming).
+"""
+
+from repro.flextoe.config import PipelineConfig
+from repro.flextoe.datapath import FlexToeDatapath
+from repro.flextoe.scheduler import rate_to_interval_q8
+from repro.flextoe.state import ConnectionRecord, PostprocState, PreprocState, ProtocolState
+from repro.nfp import Nfp4000
+
+
+class FlexToeNic:
+    """A FlexTOE-programmed SmartNIC."""
+
+    def __init__(self, sim, config=None, chip=None, capture=None, ingress_modules=None, egress_modules=None):
+        self.sim = sim
+        self.config = config or PipelineConfig.full()
+        self.chip = chip or Nfp4000(sim)
+        self.datapath = FlexToeDatapath(
+            sim,
+            self.chip,
+            self.config,
+            capture=capture,
+            ingress_modules=ingress_modules,
+            egress_modules=egress_modules,
+        )
+
+    # -- network ----------------------------------------------------------
+
+    def attach_port(self, port):
+        self.chip.mac.attach_port(port)
+
+    # -- libTOE interface ----------------------------------------------------
+
+    def register_context(self, context_id, capacity=1024):
+        return self.datapath.register_context(context_id, capacity)
+
+    def post_hc(self, context_id, descriptor):
+        return self.datapath.post_hc(context_id, descriptor)
+
+    # -- control-plane interface ----------------------------------------------
+
+    def offload_connection(
+        self,
+        index,
+        four_tuple,
+        peer_mac,
+        local_mac,
+        iss,
+        irs,
+        context_id,
+        opaque,
+        rx_buffer,
+        tx_buffer,
+        remote_win=0xFFFF,
+    ):
+        """Install data-path state for an established connection (§3.4).
+
+        ``rx_buffer``/``tx_buffer`` are (region, base_addr, size) triples
+        from the host hugepage pool. Returns the ConnectionRecord.
+        """
+        local_ip, remote_ip, local_port, remote_port = four_tuple
+        flow_group = self.config.flow_group_of(four_tuple)
+        pre = PreprocState(
+            peer_mac=peer_mac,
+            peer_ip=remote_ip,
+            local_port=local_port,
+            remote_port=remote_port,
+            flow_group=flow_group,
+        )
+        rx_region, rx_base, rx_size = rx_buffer
+        tx_region, tx_base, tx_size = tx_buffer
+        proto = ProtocolState(seq=iss, ack=irs, rx_avail=rx_size, remote_win=remote_win)
+        post = PostprocState(
+            opaque=opaque,
+            context_id=context_id,
+            rx_base=rx_base,
+            tx_base=tx_base,
+            rx_size=rx_size,
+            tx_size=tx_size,
+            rx_region=rx_region,
+            tx_region=tx_region,
+        )
+        post.use_timestamps = self.config.use_timestamps
+        post.use_ecn = self.config.use_ecn
+        record = ConnectionRecord(
+            index=index,
+            four_tuple=four_tuple,
+            pre=pre,
+            proto=proto,
+            post=post,
+            local_mac=local_mac,
+            local_ip=local_ip,
+        )
+        self.datapath.install_connection(record)
+        return record
+
+    def allocate_connection_index(self):
+        return self.datapath.conn_table.allocate_index()
+
+    def remove_connection(self, index):
+        return self.datapath.remove_connection(index)
+
+    def connection(self, index):
+        return self.datapath.conn_table.get(index)
+
+    def control_rx_ring(self):
+        """Frames the data-path diverted to the control plane."""
+        return self.datapath.control_ring
+
+    def control_tx(self, frame):
+        """Control-plane raw transmit (handshakes, RST), bypassing the
+        data pipeline."""
+        self.datapath.nic_transmit_direct(frame)
+
+    def read_cc_stats(self, index):
+        """Control-plane poll of a connection's congestion statistics."""
+        record = self.datapath.conn_table.get(index)
+        if record is None:
+            return None
+        return record.post.take_cc_stats()
+
+    def set_flow_rate(self, index, bytes_per_sec):
+        """Program the flow scheduler's pacing interval via MMIO."""
+        self.datapath.scheduler.set_interval(index, rate_to_interval_q8(bytes_per_sec))
+
+    @property
+    def scheduler(self):
+        return self.datapath.scheduler
+
+    @property
+    def tracepoints(self):
+        return self.datapath.tracepoints

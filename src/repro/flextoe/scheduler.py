@@ -1,0 +1,166 @@
+"""The Carousel-based flow scheduler (paper §3.5, §4).
+
+The scheduler keeps, per connection, the bytes available for transmission
+(pushed by the post-processor's FS updates — the protocol stage is the
+authority on the true window) and a transmission interval programmed by
+the control-plane. Because FPCs cannot divide, the control plane programs
+intervals in **ns-per-byte Q8 fixed point** rather than rates; the
+scheduler only multiplies.
+
+Uncongested flows (interval 0) bypass the time wheel and are served
+round-robin — the work-conserving fast path. Rate-limited flows are
+enqueued into time-wheel slots (EMEM hardware queues) by deadline.
+"""
+
+from collections import deque
+
+INTERVAL_Q8_SHIFT = 8
+
+
+def rate_to_interval_q8(bytes_per_sec):
+    """Control-plane helper: rate -> ns/byte in Q8 (0 = unlimited)."""
+    if bytes_per_sec <= 0:
+        return 0
+    interval = (1_000_000_000 << INTERVAL_Q8_SHIFT) // int(bytes_per_sec)
+    return max(1, interval)
+
+
+class _FlowEntry:
+    __slots__ = ("conn_index", "deficit", "interval_q8", "queued", "next_deadline")
+
+    def __init__(self, conn_index):
+        self.conn_index = conn_index
+        self.deficit = 0
+        self.interval_q8 = 0
+        self.queued = False
+        self.next_deadline = 0
+
+
+class CarouselScheduler:
+    """Time wheel + round-robin bypass, emitting TX triggers."""
+
+    def __init__(self, sim, tx_trigger_ring, mss=1448, slot_ns=1000, n_slots=4096, costs=None):
+        self.sim = sim
+        self.tx_trigger_ring = tx_trigger_ring
+        self.mss = mss
+        self.slot_ns = slot_ns
+        self.n_slots = n_slots
+        self.costs = costs
+        self._flows = {}
+        self._rr = deque()
+        self._wheel = [deque() for _ in range(n_slots)]
+        self._wheel_population = 0
+        self._wake = None
+        self.triggers_issued = 0
+        self.rate_limited_enqueues = 0
+
+    # -- control interfaces ------------------------------------------------
+
+    def _entry(self, conn_index):
+        entry = self._flows.get(conn_index)
+        if entry is None:
+            entry = _FlowEntry(conn_index)
+            self._flows[conn_index] = entry
+        return entry
+
+    def set_interval(self, conn_index, interval_q8):
+        """Control-plane MMIO write of the per-flow pacing interval."""
+        self._entry(conn_index).interval_q8 = max(0, int(interval_q8))
+
+    def set_rate(self, conn_index, bytes_per_sec):
+        self.set_interval(conn_index, rate_to_interval_q8(bytes_per_sec))
+
+    def remove_flow(self, conn_index):
+        entry = self._flows.pop(conn_index, None)
+        if entry is not None:
+            entry.deficit = 0
+
+    def fs_update(self, conn_index, sendable_bytes):
+        """Post-processor FS op: absolute sendable-byte refresh."""
+        entry = self._entry(conn_index)
+        entry.deficit = max(0, int(sendable_bytes))
+        if entry.deficit > 0 and not entry.queued:
+            self._enqueue(entry)
+        self._kick()
+
+    # -- internals -----------------------------------------------------------
+
+    def _enqueue(self, entry):
+        entry.queued = True
+        if entry.interval_q8 == 0:
+            self._rr.append(entry)
+            return
+        deadline = max(entry.next_deadline, self.sim.now)
+        slot = (deadline // self.slot_ns) % self.n_slots
+        self._wheel[slot].append((deadline, entry))
+        self._wheel_population += 1
+        self.rate_limited_enqueues += 1
+
+    def _kick(self):
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    def _pop_due(self):
+        """Pop one flow whose deadline has passed (or an RR flow)."""
+        if self._rr:
+            return self._rr.popleft()
+        if self._wheel_population == 0:
+            return None
+        slot = (self.sim.now // self.slot_ns) % self.n_slots
+        # Scan from the current slot backwards over the horizon for due
+        # entries. Real hardware pops the slot queue whose deadline
+        # passed; a scan is equivalent and keeps the model simple.
+        for back in range(self.n_slots):
+            bucket = self._wheel[(slot - back) % self.n_slots]
+            while bucket:
+                deadline, entry = bucket[0]
+                if deadline <= self.sim.now:
+                    bucket.popleft()
+                    self._wheel_population -= 1
+                    return entry
+                break
+        return None
+
+    def _next_wheel_deadline(self):
+        soonest = None
+        for bucket in self._wheel:
+            if bucket:
+                deadline = bucket[0][0]
+                if soonest is None or deadline < soonest:
+                    soonest = deadline
+        return soonest
+
+    def program(self, thread):
+        """The SCH FPC program."""
+        sim = self.sim
+        dequeue_cost = self.costs.sched_dequeue if self.costs else 45
+        while True:
+            entry = self._pop_due()
+            if entry is None:
+                # Idle: sleep until an FS update or the next wheel deadline.
+                self._wake = sim.event()
+                deadline = self._next_wheel_deadline()
+                if deadline is None:
+                    yield self._wake
+                else:
+                    yield sim.any_of([self._wake, sim.timeout(max(0, deadline - sim.now))])
+                self._wake = None
+                continue
+            entry.queued = False
+            if entry.deficit <= 0:
+                continue
+            yield from thread.compute(dequeue_cost)
+            burst = min(self.mss, entry.deficit)
+            entry.deficit -= burst
+            self.triggers_issued += 1
+            yield self.tx_trigger_ring.put(entry.conn_index)
+            if entry.deficit > 0:
+                if entry.interval_q8 > 0:
+                    entry.next_deadline = max(entry.next_deadline, sim.now) + (
+                        (burst * entry.interval_q8) >> INTERVAL_Q8_SHIFT
+                    )
+                self._enqueue(entry)
+
+    @property
+    def backlog_flows(self):
+        return sum(1 for entry in self._flows.values() if entry.queued)

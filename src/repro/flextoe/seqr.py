@@ -1,0 +1,95 @@
+"""Segment sequencing and reordering (paper §3.2).
+
+Parallel pipeline stages may reorder segments; TCP cannot tolerate that.
+A :class:`Sequencer` tags work entering the pipeline; a
+:class:`ReorderBuffer` (the GRO FPCs) buffers and releases work in tag
+order before the protocol stage and before the NBI. A stage dropping a
+tagged segment must call :meth:`ReorderBuffer.skip` so the stream does
+not stall — exactly the BLM bookkeeping the paper assigns its own FPCs.
+"""
+
+
+class Sequencer:
+    """Issues dense per-domain sequence numbers."""
+
+    def __init__(self):
+        self._next = 0
+
+    def assign(self, work):
+        work.pipeline_seq = self._next
+        self._next += 1
+        return work.pipeline_seq
+
+    @property
+    def issued(self):
+        return self._next
+
+
+class ReorderBuffer:
+    """Releases work items in sequence order into an output ring.
+
+    Out-of-order arrivals are buffered; ``skip()`` advances past dropped
+    sequence numbers. The buffer is unbounded in entries but its peak
+    occupancy is recorded (inter-module queue occupancy is one of the
+    paper's 48 tracepoints).
+    """
+
+    def __init__(self, sim, output_ring=None, output_fn=None, name="reorder"):
+        self.sim = sim
+        self.output_ring = output_ring
+        self.output_fn = output_fn
+        self.name = name
+        self._expected = 0
+        self._pending = {}
+        self._skipped = set()
+        self.released = 0
+        self.buffered_peak = 0
+        self.out_of_order_arrivals = 0
+
+    def offer(self, work):
+        """Accept a tagged work item; release everything now in order."""
+        seq = work.pipeline_seq
+        if seq is None:
+            raise ValueError("work item was never sequenced")
+        if seq < self._expected or seq in self._pending:
+            raise ValueError("duplicate pipeline sequence {}".format(seq))
+        if seq != self._expected:
+            self.out_of_order_arrivals += 1
+        self._pending[seq] = work
+        if len(self._pending) > self.buffered_peak:
+            self.buffered_peak = len(self._pending)
+        self._drain()
+
+    def skip(self, seq):
+        """Mark a sequence number as dropped mid-pipeline."""
+        if seq < self._expected:
+            return
+        self._skipped.add(seq)
+        self._drain()
+
+    def _drain(self):
+        while True:
+            if self._expected in self._skipped:
+                self._skipped.discard(self._expected)
+                self._expected += 1
+                continue
+            work = self._pending.pop(self._expected, None)
+            if work is None:
+                return
+            self._expected += 1
+            self.released += 1
+            if self.output_fn is not None:
+                self.output_fn(work)
+                continue
+            # Rings between reorder and protocol are sized for the burst;
+            # a full ring here would deadlock the drain, so grow instead.
+            if not self.output_ring.try_put(work):
+                self.output_ring.store.force_put(work)
+
+    @property
+    def buffered(self):
+        return len(self._pending)
+
+    @property
+    def expected(self):
+        return self._expected

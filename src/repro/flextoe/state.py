@@ -1,0 +1,211 @@
+"""Per-connection state, partitioned across pipeline stages (Table 5).
+
+Each stage owns exactly one partition; cross-stage information travels as
+metadata on the work item (the module-API rule of §3.3). The partition
+sizes reproduce the paper's 108 bytes per connection.
+"""
+
+from repro.proto.tcp import seq_add
+
+
+class PreprocState:
+    """Pre-processor partition: connection identification (15 B)."""
+
+    __slots__ = ("peer_mac", "peer_ip", "local_port", "remote_port", "flow_group")
+    SIZE_BYTES = 15
+
+    def __init__(self, peer_mac, peer_ip, local_port, remote_port, flow_group):
+        self.peer_mac = peer_mac
+        self.peer_ip = peer_ip
+        self.local_port = local_port
+        self.remote_port = remote_port
+        self.flow_group = flow_group
+
+
+class ProtocolState:
+    """Protocol partition: the TCP state machine fields (43 B).
+
+    Positions are *offsets* into the host circular payload buffers; the
+    buffer base addresses live in the post-processor partition, which the
+    protocol stage cannot read.
+    """
+
+    __slots__ = (
+        "rx_pos",
+        "tx_pos",
+        "tx_avail",
+        "rx_avail",
+        "remote_win",
+        "tx_sent",
+        "seq",
+        "ack",
+        "ooo_start",
+        "ooo_len",
+        "dupack_cnt",
+        "next_ts",
+        "fin_pending",
+        "fin_seq",
+        "rx_fin_seq",
+        "delack_cnt",
+    )
+    SIZE_BYTES = 43
+
+    def __init__(self, seq=0, ack=0, rx_avail=0, remote_win=0xFFFF):
+        self.rx_pos = 0
+        self.tx_pos = 0
+        self.tx_avail = 0
+        self.rx_avail = rx_avail
+        self.remote_win = remote_win
+        self.tx_sent = 0
+        self.seq = seq
+        self.ack = ack
+        self.ooo_start = 0
+        self.ooo_len = 0
+        self.dupack_cnt = 0
+        self.next_ts = 0
+        self.fin_pending = False
+        self.fin_seq = None
+        self.rx_fin_seq = None
+        self.delack_cnt = 0
+
+    @property
+    def has_ooo(self):
+        return self.ooo_len > 0
+
+    def flight_limit(self):
+        """Bytes currently eligible for transmission."""
+        window = min(self.tx_avail, max(0, self.remote_win - self.tx_sent))
+        return max(0, window)
+
+    def reset_to_last_ack(self):
+        """Go-back-N: rewind transmission to the last acknowledged byte.
+
+        ``tx_pos``/``rx_pos`` are unbounded byte counts (the paper's
+        64-bit buffer heads); ``seq`` stays in 32-bit sequence space.
+        A sent-but-unacked FIN occupies one unit of ``tx_sent`` sequence
+        space but no buffer bytes; it is re-armed for retransmission.
+        """
+        fin_units = 1 if self.fin_seq is not None else 0
+        data_rewound = self.tx_sent - fin_units
+        self.tx_pos -= data_rewound
+        self.seq = seq_add(self.seq, -self.tx_sent)
+        self.tx_avail += data_rewound
+        self.tx_sent = 0
+        self.dupack_cnt = 0
+        if fin_units:
+            self.fin_seq = None
+            self.fin_pending = True
+        return data_rewound
+
+
+class PostprocState:
+    """Post-processor partition: app interface + congestion stats (51 B)."""
+
+    __slots__ = (
+        "opaque",
+        "context_id",
+        "rx_base",
+        "tx_base",
+        "rx_size",
+        "tx_size",
+        "rx_region",
+        "tx_region",
+        "cnt_ackb",
+        "cnt_ecnb",
+        "cnt_fretx",
+        "rtt_est",
+        "rate",
+        "use_timestamps",
+        "use_ecn",
+    )
+    SIZE_BYTES = 51
+
+    def __init__(self, opaque, context_id, rx_base, tx_base, rx_size, tx_size, rx_region=None, tx_region=None):
+        self.opaque = opaque
+        self.context_id = context_id
+        self.rx_base = rx_base
+        self.tx_base = tx_base
+        self.rx_size = rx_size
+        self.tx_size = tx_size
+        self.rx_region = rx_region
+        self.tx_region = tx_region
+        self.cnt_ackb = 0
+        self.cnt_ecnb = 0
+        self.cnt_fretx = 0
+        self.rtt_est = 0
+        self.rate = 0
+        self.use_timestamps = True
+        self.use_ecn = True
+
+    def take_cc_stats(self):
+        """Read-and-reset congestion statistics (control-plane poll)."""
+        stats = (self.cnt_ackb, self.cnt_ecnb, self.cnt_fretx, self.rtt_est)
+        self.cnt_ackb = 0
+        self.cnt_ecnb = 0
+        self.cnt_fretx = 0
+        return stats
+
+
+TOTAL_STATE_BYTES = PreprocState.SIZE_BYTES + ProtocolState.SIZE_BYTES + PostprocState.SIZE_BYTES
+
+
+class ConnectionRecord:
+    """One offloaded connection: the three partitions plus identity."""
+
+    __slots__ = ("index", "four_tuple", "pre", "proto", "post", "local_mac", "local_ip", "active")
+
+    def __init__(self, index, four_tuple, pre, proto, post, local_mac, local_ip):
+        self.index = index
+        self.four_tuple = four_tuple  # (local_ip, remote_ip, local_port, remote_port)
+        self.pre = pre
+        self.proto = proto
+        self.post = post
+        self.local_mac = local_mac
+        self.local_ip = local_ip
+        self.active = True
+
+
+class ConnectionTable:
+    """The data-path connection table, indexed by connection id.
+
+    The control plane installs records at connection setup (paper §3.4)
+    and removes them at teardown. Indices are allocated to minimize
+    collisions in the direct-mapped CLS cache (paper §4.1) — a simple
+    ascending allocator achieves that layout.
+    """
+
+    def __init__(self, capacity=1 << 20):
+        self.capacity = capacity
+        self._records = {}
+        self._free_indices = []
+        self._next_index = 0
+
+    def install(self, record):
+        if record.index in self._records:
+            raise ValueError("connection index {} already installed".format(record.index))
+        self._records[record.index] = record
+
+    def allocate_index(self):
+        if self._free_indices:
+            return self._free_indices.pop()
+        if self._next_index >= self.capacity:
+            raise MemoryError("connection table full")
+        index = self._next_index
+        self._next_index += 1
+        return index
+
+    def remove(self, index):
+        record = self._records.pop(index, None)
+        if record is not None:
+            record.active = False
+            self._free_indices.append(index)
+        return record
+
+    def get(self, index):
+        return self._records.get(index)
+
+    def __len__(self):
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records.values())

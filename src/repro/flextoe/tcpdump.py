@@ -1,0 +1,124 @@
+"""tcpdump-style traffic logging on the data-path (paper §5.1).
+
+A :class:`PacketCapture` hooks ingress and egress, applies a header
+filter, and logs matching frames; logging a frame costs FPC cycles
+(serialization into a capture ring), which is why Table 2 shows up to a
+43 % throughput hit with no filter. Captured frames can be written out
+in libpcap format for offline inspection.
+"""
+
+import struct
+
+#: FPC cycles to copy+log one frame into the capture ring.
+CAPTURE_COST_CYCLES = 260
+#: Cycles to evaluate the filter on a non-matching frame.
+FILTER_COST_CYCLES = 25
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_LINKTYPE_ETHERNET = 1
+
+
+class PacketFilter:
+    """A conjunctive header-field filter (tcpdump-expression subset)."""
+
+    def __init__(self, src_ip=None, dst_ip=None, sport=None, dport=None, tcp_flags_any=None):
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.sport = sport
+        self.dport = dport
+        self.tcp_flags_any = tcp_flags_any
+
+    def matches(self, frame):
+        if self.src_ip is not None and (frame.ip is None or frame.ip.src != self.src_ip):
+            return False
+        if self.dst_ip is not None and (frame.ip is None or frame.ip.dst != self.dst_ip):
+            return False
+        if self.sport is not None and (frame.tcp is None or frame.tcp.sport != self.sport):
+            return False
+        if self.dport is not None and (frame.tcp is None or frame.tcp.dport != self.dport):
+            return False
+        if self.tcp_flags_any is not None:
+            if frame.tcp is None or not (frame.tcp.flags & self.tcp_flags_any):
+                return False
+        return True
+
+
+class PacketCapture:
+    """Captures (timestamp, direction, wire bytes) for matching frames."""
+
+    def __init__(self, packet_filter=None, snaplen=96, limit=100_000):
+        self.filter = packet_filter
+        self.snaplen = snaplen
+        self.limit = limit
+        self.records = []
+        self.matched = 0
+        self.truncated_drops = 0
+
+    def cost_cycles(self, frame):
+        """FPC cycles this frame costs at the capture hook."""
+        if self.filter is not None and not self.filter.matches(frame):
+            return FILTER_COST_CYCLES
+        return CAPTURE_COST_CYCLES
+
+    def capture(self, now_ns, direction, frame):
+        """Record the frame if it matches; returns True when captured."""
+        if self.filter is not None and not self.filter.matches(frame):
+            return False
+        self.matched += 1
+        if len(self.records) >= self.limit:
+            self.truncated_drops += 1
+            return True
+        wire = frame.pack()[: self.snaplen]
+        self.records.append((now_ns, direction, frame.wire_len, wire))
+        return True
+
+    def write_pcap(self, path):
+        """Dump captured frames as a libpcap file."""
+        with open(path, "wb") as out:
+            out.write(
+                struct.pack(
+                    "!IHHiIII",
+                    PCAP_MAGIC,
+                    2,
+                    4,
+                    0,
+                    0,
+                    self.snaplen,
+                    PCAP_LINKTYPE_ETHERNET,
+                )
+            )
+            for now_ns, _direction, orig_len, wire in self.records:
+                seconds, nanos = divmod(now_ns, 1_000_000_000)
+                out.write(struct.pack("!IIII", seconds, nanos // 1000, len(wire), orig_len))
+                out.write(wire)
+
+    def __len__(self):
+        return len(self.records)
+
+
+def read_pcap(path):
+    """Parse a libpcap file written by :meth:`PacketCapture.write_pcap`.
+
+    Returns a list of (timestamp_ns, captured_bytes, original_length).
+    """
+    with open(path, "rb") as source:
+        header = source.read(24)
+        if len(header) < 24:
+            raise ValueError("truncated pcap global header")
+        magic, major, minor, _zone, _sig, _snaplen, linktype = struct.unpack("!IHHiIII", header)
+        if magic != PCAP_MAGIC:
+            raise ValueError("bad pcap magic 0x{:08x}".format(magic))
+        if linktype != PCAP_LINKTYPE_ETHERNET:
+            raise ValueError("unsupported link type {}".format(linktype))
+        records = []
+        while True:
+            record_header = source.read(16)
+            if not record_header:
+                return records
+            if len(record_header) < 16:
+                raise ValueError("truncated pcap record header")
+            seconds, micros, incl, orig = struct.unpack("!IIII", record_header)
+            data = source.read(incl)
+            if len(data) < incl:
+                raise ValueError("truncated pcap record body")
+            records.append((seconds * 1_000_000_000 + micros * 1_000, data, orig))

@@ -1,0 +1,51 @@
+"""Paper-style result tables printed by the benchmark harness."""
+
+
+def format_rate(bps):
+    """Human-readable bit rate."""
+    if bps >= 1e9:
+        return "{:.2f} Gbps".format(bps / 1e9)
+    if bps >= 1e6:
+        return "{:.2f} Mbps".format(bps / 1e6)
+    if bps >= 1e3:
+        return "{:.2f} Kbps".format(bps / 1e3)
+    return "{:.0f} bps".format(bps)
+
+
+def format_us(ns):
+    """Nanoseconds -> microseconds string."""
+    return "{:.1f} us".format(ns / 1000.0)
+
+
+def format_mops(ops_per_sec):
+    return "{:.2f} mOps".format(ops_per_sec / 1e6)
+
+
+class Table:
+    """A fixed-column ASCII table, printed like the paper's tables."""
+
+    def __init__(self, title, columns):
+        self.title = title
+        self.columns = columns
+        self.rows = []
+
+    def add_row(self, *values):
+        if len(values) != len(self.columns):
+            raise ValueError("expected {} values".format(len(self.columns)))
+        self.rows.append([str(v) for v in values])
+
+    def render(self):
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = ["", "== {} ==".format(self.title)]
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self):
+        print(self.render())

@@ -1,0 +1,24 @@
+"""Host machine model: CPU cores with cycle accounting, hugepage memory.
+
+The paper's Table 1 and Figure 9 are host-CPU cycle-accounting results;
+every simulated stack charges its work to a :class:`CpuCore` under a
+named category (driver / tcp / sockets / app / other), so the same
+breakdown falls out of any experiment.
+"""
+
+from repro.host.cpu import CAT_APP, CAT_DRIVER, CAT_OTHER, CAT_SOCKETS, CAT_TCP, CpuCore, CycleAccounting
+from repro.host.memory import HostMemory, HugepagePool
+from repro.host.machine import Machine
+
+__all__ = [
+    "CAT_APP",
+    "CAT_DRIVER",
+    "CAT_OTHER",
+    "CAT_SOCKETS",
+    "CAT_TCP",
+    "CpuCore",
+    "CycleAccounting",
+    "HostMemory",
+    "HugepagePool",
+    "Machine",
+]

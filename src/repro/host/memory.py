@@ -1,0 +1,76 @@
+"""Host memory: the 1G hugepage pool FlexTOE allocates buffers from.
+
+The control-plane maps a pool of physically contiguous 1 GB hugepages at
+startup (paper §4) and carves socket payload buffers and context queues
+out of it, so NIC DMA needs no page translation. Region contents are
+real bytearrays — DMA in the simulation actually moves the payload
+bytes, so end-to-end data integrity is checkable.
+"""
+
+HUGEPAGE_SIZE = 1 << 30
+
+
+class Region:
+    """A carved-out region: (physical address, length, backing bytes)."""
+
+    __slots__ = ("addr", "length", "data")
+
+    def __init__(self, addr, length):
+        self.addr = addr
+        self.length = length
+        self.data = bytearray(length)
+
+    def write(self, offset, payload):
+        end = offset + len(payload)
+        if offset < 0 or end > self.length:
+            raise IndexError("write outside region")
+        self.data[offset:end] = payload
+
+    def read(self, offset, length):
+        if offset < 0 or offset + length > self.length:
+            raise IndexError("read outside region")
+        return bytes(self.data[offset : offset + length])
+
+
+class HugepagePool:
+    """Bump allocator over a fixed number of mapped 1G hugepages."""
+
+    def __init__(self, n_pages=4, base_addr=0x1_0000_0000):
+        self.capacity = n_pages * HUGEPAGE_SIZE
+        self.base_addr = base_addr
+        self.brk = 0
+        self.regions = {}
+
+    def alloc(self, length, align=64):
+        """Allocate a region; returns :class:`Region`."""
+        start = -(-self.brk // align) * align
+        if start + length > self.capacity:
+            raise MemoryError("hugepage pool exhausted")
+        self.brk = start + length
+        region = Region(self.base_addr + start, length)
+        self.regions[region.addr] = region
+        return region
+
+    def region_at(self, addr):
+        """Find the region containing physical address ``addr``."""
+        for base, region in self.regions.items():
+            if base <= addr < base + region.length:
+                return region, addr - base
+        raise KeyError("no region at address 0x{:x}".format(addr))
+
+    @property
+    def used(self):
+        return self.brk
+
+
+class HostMemory:
+    """The machine's memory: a hugepage pool plus simple statistics."""
+
+    def __init__(self, n_hugepages=4):
+        self.hugepages = HugepagePool(n_pages=n_hugepages)
+
+    def alloc(self, length, align=64):
+        return self.hugepages.alloc(length, align)
+
+    def region_at(self, addr):
+        return self.hugepages.region_at(addr)

@@ -1,0 +1,22 @@
+"""libTOE: the POSIX-style sockets library linked into applications.
+
+libTOE interposes on socket calls and talks to the FlexTOE data-path
+through per-thread context queues and per-socket payload buffers in host
+shared memory (paper §3). No TCP processing happens here — only buffer
+management and notifications — which is why FlexTOE's host profile is
+nearly all application time (Table 1).
+"""
+
+from repro.libtoe.api import LibToeContext, ToeSocket
+from repro.libtoe.buffers import CircularBuffer
+from repro.libtoe.epoll import EventPoll
+from repro.libtoe.errors import ConnectionClosedError, ToeError
+
+__all__ = [
+    "CircularBuffer",
+    "ConnectionClosedError",
+    "EventPoll",
+    "LibToeContext",
+    "ToeError",
+    "ToeSocket",
+]

@@ -1,0 +1,239 @@
+"""The libTOE socket API.
+
+All operations are generator coroutines executed inside an application
+process on a host :class:`~repro.host.CpuCore`, charging socket-API
+cycles (the only host TCP-related cost left under FlexTOE, Table 1).
+
+Usage pattern::
+
+    ctx = LibToeContext(sim, core, nic, control_plane, context_id=1)
+    sock = yield from ctx.connect(remote_ip, remote_port)
+    yield from ctx.send(sock, b"hello")
+    data = yield from ctx.recv(sock, 4096)
+    yield from ctx.close(sock)
+"""
+
+from collections import deque
+
+from repro.flextoe.descriptors import (
+    HC_FIN,
+    HC_RX_UPDATE,
+    HC_TX_UPDATE,
+    NOTIFY_FIN,
+    NOTIFY_RX,
+    NOTIFY_TX_ACKED,
+    HostControlDescriptor,
+)
+from repro.host.cpu import CAT_SOCKETS
+from repro.libtoe.errors import ConnectionClosedError, ToeError
+
+#: Socket-API cycle costs (calibrated so a request-response pair lands
+#: near Table 1's 740 cycles of POSIX-socket time under FlexTOE).
+COST_SEND = 300
+COST_RECV = 300
+COST_POLL = 70
+COST_SETUP = 2000
+COST_PER_KB_COPY = 60
+
+
+class ToeSocket:
+    """An established, offloaded connection as libTOE sees it."""
+
+    __slots__ = (
+        "conn_index",
+        "ctx",
+        "rx_buffer",
+        "tx_buffer",
+        "rx_ready",
+        "rx_bytes_ready",
+        "tx_free",
+        "tx_head",
+        "peer_fin",
+        "fin_sent",
+        "four_tuple",
+        "bytes_sent",
+        "bytes_received",
+    )
+
+    def __init__(self, ctx, conn_index, four_tuple, rx_buffer, tx_buffer):
+        self.ctx = ctx
+        self.conn_index = conn_index
+        self.four_tuple = four_tuple
+        self.rx_buffer = rx_buffer
+        self.tx_buffer = tx_buffer
+        self.rx_ready = deque()  # (offset, length) notifications
+        self.rx_bytes_ready = 0
+        self.tx_free = tx_buffer.size
+        self.tx_head = 0
+        self.peer_fin = False
+        self.fin_sent = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @property
+    def readable(self):
+        return self.rx_bytes_ready > 0 or self.peer_fin
+
+    def __repr__(self):
+        return "<ToeSocket conn={} ready={}B>".format(self.conn_index, self.rx_bytes_ready)
+
+
+class LibToeContext:
+    """A per-application-thread context: queue pair + socket table."""
+
+    def __init__(self, sim, core, nic, control_plane, context_id):
+        self.sim = sim
+        self.core = core
+        self.nic = nic
+        self.control_plane = control_plane
+        self.context_id = context_id
+        self.pair = nic.register_context(context_id)
+        self.sockets = {}
+        self.epolls = []
+
+    # -- connection setup ---------------------------------------------------
+
+    def _adopt(self, established):
+        """Wrap control-plane connection info in a ToeSocket."""
+        sock = ToeSocket(
+            self,
+            established.conn_index,
+            established.four_tuple,
+            established.rx_buffer,
+            established.tx_buffer,
+        )
+        self.sockets[sock.conn_index] = sock
+        return sock
+
+    def listen(self, port, backlog=128):
+        """Register a listener; returns a listener handle (non-blocking)."""
+        return self.control_plane.listen(self, port, backlog)
+
+    def accept(self, listener):
+        """Wait for and adopt an incoming connection."""
+        yield from self.core.run(COST_SETUP, CAT_SOCKETS)
+        established = yield from self.control_plane.accept_wait(listener)
+        return self._adopt(established)
+
+    def connect(self, remote_ip, remote_port):
+        """Open a connection; blocks through the control-plane handshake."""
+        yield from self.core.run(COST_SETUP, CAT_SOCKETS)
+        established = yield from self.control_plane.connect(self, remote_ip, remote_port)
+        return self._adopt(established)
+
+    # -- data path -------------------------------------------------------------
+
+    def _post_hc(self, descriptor):
+        if not self.nic.post_hc(self.context_id, descriptor):
+            raise ToeError("context queue overflow")
+
+    def send(self, sock, data, blocking=True):
+        """Append ``data`` to the socket's TX stream.
+
+        Returns the number of bytes accepted (all of them when
+        ``blocking``)."""
+        if sock.peer_fin and not data:
+            raise ConnectionClosedError("peer closed")
+        total = 0
+        view = memoryview(data)
+        while view:
+            while sock.tx_free == 0:
+                if not blocking:
+                    return total
+                yield from self._wait_and_dispatch()
+            chunk = view[: sock.tx_free]
+            yield from self.core.run(
+                COST_SEND + COST_PER_KB_COPY * (len(chunk) // 1024), CAT_SOCKETS
+            )
+            sock.tx_buffer.write(sock.tx_head, bytes(chunk))
+            sock.tx_head += len(chunk)
+            sock.tx_free -= len(chunk)
+            sock.bytes_sent += len(chunk)
+            self._post_hc(
+                HostControlDescriptor(HC_TX_UPDATE, sock.conn_index, value=len(chunk))
+            )
+            total += len(chunk)
+            view = view[len(chunk) :]
+        return total
+
+    def recv(self, sock, max_bytes, blocking=True):
+        """Read up to ``max_bytes`` of in-order payload.
+
+        Returns b"" on a clean peer close."""
+        while sock.rx_bytes_ready == 0:
+            if sock.peer_fin:
+                return b""
+            if not blocking:
+                return None
+            yield from self._wait_and_dispatch()
+        yield from self.core.run(
+            COST_RECV + COST_PER_KB_COPY * (min(max_bytes, sock.rx_bytes_ready) // 1024),
+            CAT_SOCKETS,
+        )
+        chunks = []
+        taken = 0
+        while sock.rx_ready and taken < max_bytes:
+            offset, length = sock.rx_ready[0]
+            take = min(length, max_bytes - taken)
+            chunks.append(sock.rx_buffer.read_at_offset(offset, take))
+            taken += take
+            if take == length:
+                sock.rx_ready.popleft()
+            else:
+                sock.rx_ready[0] = ((offset + take) % sock.rx_buffer.size, length - take)
+        sock.rx_bytes_ready -= taken
+        sock.bytes_received += taken
+        # Return the consumed space to the receive window.
+        self._post_hc(HostControlDescriptor(HC_RX_UPDATE, sock.conn_index, value=taken))
+        return b"".join(chunks)
+
+    def close(self, sock):
+        """Half-close: send FIN after pending data; free on completion."""
+        yield from self.core.run(COST_SEND, CAT_SOCKETS)
+        if not sock.fin_sent:
+            sock.fin_sent = True
+            self._post_hc(HostControlDescriptor(HC_FIN, sock.conn_index))
+        self.control_plane.notify_close(sock.conn_index)
+
+    # -- event handling ------------------------------------------------------
+
+    def dispatch(self):
+        """Drain the inbound context queue into socket state; returns the
+        number of notifications processed."""
+        count = 0
+        while True:
+            notification = self.pair.poll()
+            if notification is None:
+                return count
+            count += 1
+            sock = self.sockets.get(notification.conn_index)
+            if sock is None:
+                continue
+            if notification.kind == NOTIFY_RX:
+                sock.rx_ready.append((notification.offset, notification.length))
+                sock.rx_bytes_ready += notification.length
+            elif notification.kind == NOTIFY_TX_ACKED:
+                sock.tx_free += notification.length
+            elif notification.kind == NOTIFY_FIN:
+                sock.peer_fin = True
+            for epoll in self.epolls:
+                epoll.on_event(sock)
+
+    def _wait_and_dispatch(self):
+        """Block until the NIC delivers a notification, then dispatch.
+
+        Models the poll-then-eventfd-sleep behavior of §4: the context
+        manager raises an MSI-X interrupt for sleeping contexts."""
+        yield from self.core.run(COST_POLL, CAT_SOCKETS)
+        if not self.pair.inbound:
+            yield self.pair.wait()
+        self.dispatch()
+
+    def wait_any(self):
+        """Public wrapper: wait for any notification on this context."""
+        yield from self._wait_and_dispatch()
+
+    def epoll_cost_cycles(self, n_watched):
+        """libTOE epoll cost: flat — readiness comes from the context
+        queue, so cost does not scale with watched connections."""
+        return 120

@@ -1,0 +1,51 @@
+"""Circular payload buffers in host shared memory.
+
+Each socket has an RX and a TX buffer carved from the control plane's
+hugepage pool (paper §4). libTOE writes transmit data and reads received
+data directly; the NIC DMAs the same region, so the bytes an application
+receives really traveled through the simulated DMA engine.
+"""
+
+
+class CircularBuffer:
+    """A producer/consumer view over a host Region.
+
+    Positions are unbounded byte counts; the physical offset is
+    ``pos % size``. The buffer does not itself track occupancy — flow
+    control is the protocol window's job — it only maps positions and
+    moves bytes, split across the wrap point when needed.
+    """
+
+    __slots__ = ("region", "base_addr", "size")
+
+    def __init__(self, region, size=None):
+        self.region = region
+        self.base_addr = region.addr
+        self.size = size if size is not None else region.length
+
+    def write(self, pos, payload):
+        offset = pos % self.size
+        first = min(len(payload), self.size - offset)
+        self.region.write(offset, payload[:first])
+        if first < len(payload):
+            self.region.write(0, payload[first:])
+
+    def read(self, pos, length):
+        offset = pos % self.size
+        first = min(length, self.size - offset)
+        data = self.region.read(offset, first)
+        if first < length:
+            data += self.region.read(0, length - first)
+        return data
+
+    def read_at_offset(self, offset, length):
+        """Read by physical offset (as notifications report it)."""
+        first = min(length, self.size - offset)
+        data = self.region.read(offset, first)
+        if first < length:
+            data += self.region.read(0, length - first)
+        return data
+
+    def as_triple(self):
+        """(region, base_addr, size) for the NIC's connection state."""
+        return (self.region, self.base_addr, self.size)

@@ -1,0 +1,13 @@
+"""libTOE error types."""
+
+
+class ToeError(Exception):
+    """Base class for libTOE failures."""
+
+
+class ConnectionClosedError(ToeError):
+    """Operation on a socket whose peer has closed."""
+
+
+class ConnectRefusedError(ToeError):
+    """connect() failed (RST or timeout)."""

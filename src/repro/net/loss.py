@@ -1,0 +1,44 @@
+"""Random loss injection (paper §5.3, Figure 15).
+
+The paper induces loss "by randomly dropping packets at the switch with a
+fixed probability"; :class:`LossInjector` reproduces that, with an option
+to protect pure control segments so handshakes complete (the paper
+measures established-connection throughput).
+"""
+
+from repro.proto.tcp import FLAG_RST, FLAG_SYN
+
+
+class LossInjector:
+    """Drops frames with fixed probability, using a dedicated RNG stream."""
+
+    def __init__(self, rng, probability=0.0, protect_control=True):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("loss probability must be within [0, 1]")
+        self.rng = rng
+        self.probability = probability
+        self.protect_control = protect_control
+        self.dropped = 0
+        self.passed = 0
+
+    def should_drop(self, frame):
+        if self.probability == 0.0:
+            self.passed += 1
+            return False
+        if self.protect_control and frame.tcp is not None:
+            if frame.tcp.flags & (FLAG_SYN | FLAG_RST):
+                self.passed += 1
+                return False
+        if self.protect_control and frame.arp is not None:
+            self.passed += 1
+            return False
+        if self.rng.random() < self.probability:
+            self.dropped += 1
+            return True
+        self.passed += 1
+        return False
+
+    @property
+    def observed_rate(self):
+        total = self.dropped + self.passed
+        return self.dropped / total if total else 0.0

@@ -1,0 +1,149 @@
+"""Output-queued Ethernet switch with ECN marking, WRED, and shaping.
+
+Forwarding is by destination MAC (static table learned at attach time,
+plus flooding for broadcast/unknown — enough for ARP). Each egress port
+has a bounded byte queue drained at the port's (possibly shaped) rate:
+
+* **ECN step marking** — frames enqueued while the queue exceeds
+  ``ecn_threshold_bytes`` get a CE mark (DCTCP-style, paper §3.4).
+* **WRED** — between ``red_min_bytes`` and ``red_max_bytes`` frames are
+  dropped with linearly increasing probability; above max, tail drop
+  (used by the incast experiment, Table 4).
+* **Shaping** — ``rate_bps`` per egress port can be lowered to model the
+  paper's 10 Gbps shaped incast bottleneck.
+"""
+
+from collections import deque
+
+from repro.net.link import Port, wire_time_ns
+
+BROADCAST_MAC = (1 << 48) - 1
+
+
+class SwitchPortConfig:
+    """Egress queue policy for one switch port."""
+
+    def __init__(
+        self,
+        rate_bps=100_000_000_000,
+        queue_capacity_bytes=2 * 1024 * 1024,
+        ecn_threshold_bytes=None,
+        red_min_bytes=None,
+        red_max_bytes=None,
+        red_max_drop=1.0,
+    ):
+        self.rate_bps = rate_bps
+        self.queue_capacity_bytes = queue_capacity_bytes
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.red_min_bytes = red_min_bytes
+        self.red_max_bytes = red_max_bytes
+        self.red_max_drop = red_max_drop
+
+
+class _EgressQueue:
+    """A bounded byte queue drained at the egress rate."""
+
+    def __init__(self, sim, port, config, rng):
+        self.sim = sim
+        self.port = port
+        self.config = config
+        self.rng = rng
+        self.queue = deque()
+        self.bytes_queued = 0
+        self.draining = False
+        self.enqueued = 0
+        self.dropped_tail = 0
+        self.dropped_red = 0
+        self.marked_ce = 0
+        self.peak_bytes = 0
+
+    def offer(self, frame):
+        config = self.config
+        size = frame.wire_len
+        if self.bytes_queued + size > config.queue_capacity_bytes:
+            self.dropped_tail += 1
+            return
+        if config.red_min_bytes is not None and self.bytes_queued > config.red_min_bytes:
+            span = max(1, (config.red_max_bytes or config.queue_capacity_bytes) - config.red_min_bytes)
+            excess = self.bytes_queued - config.red_min_bytes
+            drop_p = min(1.0, excess / span) * config.red_max_drop
+            if self.rng.random() < drop_p:
+                self.dropped_red += 1
+                return
+        if config.ecn_threshold_bytes is not None and self.bytes_queued > config.ecn_threshold_bytes:
+            if frame.ip is not None and frame.ip.mark_ce():
+                self.marked_ce += 1
+        self.queue.append(frame)
+        self.bytes_queued += size
+        if self.bytes_queued > self.peak_bytes:
+            self.peak_bytes = self.bytes_queued
+        self.enqueued += 1
+        if not self.draining:
+            self.draining = True
+            self.sim.process(self._drain(), name="switch-egress")
+
+    def _drain(self):
+        while self.queue:
+            frame = self.queue.popleft()
+            self.bytes_queued -= frame.wire_len
+            yield self.sim.timeout(wire_time_ns(self.config.rate_bps, frame.wire_len))
+            self.port.send(frame)
+        self.draining = False
+
+
+class Switch:
+    """A store-and-forward switch with per-egress-port queue policy."""
+
+    def __init__(self, sim, name="switch", default_config=None, rng=None, loss=None):
+        self.sim = sim
+        self.name = name
+        self.default_config = default_config or SwitchPortConfig()
+        self.rng = rng
+        self.loss = loss
+        self._ports = []
+        self._egress = []
+        self._mac_table = {}
+        self.forwarded = 0
+        self.flooded = 0
+        self.unroutable = 0
+
+    def new_port(self, mac=None, config=None):
+        """Create a switch port; ``mac`` statically binds an address."""
+        index = len(self._ports)
+        port = Port(self.sim, name="{}[{}]".format(self.name, index))
+        port.receiver = lambda frame, i=index: self._ingress(i, frame)
+        self._ports.append(port)
+        self._egress.append(_EgressQueue(self.sim, port, config or self.default_config, self.rng))
+        if mac is not None:
+            self._mac_table[mac] = index
+        return port
+
+    def bind_mac(self, mac, port):
+        self._mac_table[mac] = self._ports.index(port)
+
+    def set_port_config(self, port, config):
+        """Replace the egress policy of ``port`` (e.g. shape to 10 Gbps)."""
+        index = self._ports.index(port)
+        self._egress[index].config = config
+
+    def egress_stats(self, port):
+        return self._egress[self._ports.index(port)]
+
+    def _ingress(self, in_index, frame):
+        # Learn source MAC.
+        self._mac_table.setdefault(frame.eth.src, in_index)
+        if self.loss is not None and self.loss.should_drop(frame):
+            return
+        dst = frame.eth.dst
+        if dst == BROADCAST_MAC:
+            self.flooded += 1
+            for index, egress in enumerate(self._egress):
+                if index != in_index:
+                    egress.offer(frame.copy())
+            return
+        out_index = self._mac_table.get(dst)
+        if out_index is None or out_index == in_index:
+            self.unroutable += 1
+            return
+        self.forwarded += 1
+        self._egress[out_index].offer(frame)

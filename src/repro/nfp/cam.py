@@ -1,0 +1,119 @@
+"""Near-memory lookup acceleration (paper §4.1).
+
+* :class:`Cam` — the per-FPC 16-entry fully-associative CAM used to build
+  LRU local-memory caches of connection state.
+* :class:`HashLookupEngine` — the IMEM lookup engine holding the active
+  connection database; CRC-32 of the 4-tuple locates the connection
+  index, with CAM-assisted collision resolution.
+"""
+
+import zlib
+from collections import OrderedDict
+
+
+class Cam:
+    """A fully-associative CAM with LRU eviction (default 16 entries)."""
+
+    def __init__(self, capacity=16):
+        if capacity <= 0:
+            raise ValueError("CAM capacity must be positive")
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key):
+        """Return (hit, value). A hit refreshes LRU position."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, self._entries[key]
+        self.misses += 1
+        return False, None
+
+    def insert(self, key, value):
+        """Insert/update; returns the evicted (key, value) or None."""
+        evicted = None
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            evicted = self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = value
+        return evicted
+
+    def invalidate(self, key):
+        return self._entries.pop(key, None)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def crc32_tuple(local_ip, remote_ip, local_port, remote_port):
+    """CRC-32 over the 4-tuple, as the pre-processor computes in CRC HW."""
+    data = (
+        local_ip.to_bytes(4, "big")
+        + remote_ip.to_bytes(4, "big")
+        + local_port.to_bytes(2, "big")
+        + remote_port.to_bytes(2, "big")
+    )
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class HashLookupEngine:
+    """The IMEM-resident active-connection database.
+
+    Maps 4-tuples to connection indices via a CRC-32 hash table with
+    chained collision resolution (hardware uses a CAM per bucket). The
+    occupancy statistics feed the Figure 14 analysis.
+    """
+
+    def __init__(self, n_buckets=65536):
+        self.n_buckets = n_buckets
+        self._buckets = {}
+        self.entries = 0
+        self.lookups = 0
+        self.collisions = 0
+
+    def insert(self, four_tuple, connection_index):
+        bucket_id = crc32_tuple(*four_tuple) % self.n_buckets
+        bucket = self._buckets.setdefault(bucket_id, [])
+        for i, (key, _) in enumerate(bucket):
+            if key == four_tuple:
+                bucket[i] = (four_tuple, connection_index)
+                return
+        bucket.append((four_tuple, connection_index))
+        self.entries += 1
+
+    def lookup(self, four_tuple):
+        """Return (found, connection_index, probe_count)."""
+        self.lookups += 1
+        bucket_id = crc32_tuple(*four_tuple) % self.n_buckets
+        bucket = self._buckets.get(bucket_id)
+        if not bucket:
+            return False, None, 1
+        for probes, (key, index) in enumerate(bucket, start=1):
+            if key == four_tuple:
+                if probes > 1:
+                    self.collisions += 1
+                return True, index, probes
+        return False, None, len(bucket)
+
+    def remove(self, four_tuple):
+        bucket_id = crc32_tuple(*four_tuple) % self.n_buckets
+        bucket = self._buckets.get(bucket_id, [])
+        for i, (key, _) in enumerate(bucket):
+            if key == four_tuple:
+                del bucket[i]
+                self.entries -= 1
+                return True
+        return False

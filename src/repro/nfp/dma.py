@@ -1,0 +1,65 @@
+"""The PCIe DMA engine (paper §2.3).
+
+The PCIe island exposes a pair of DMA transaction queues; FPCs may keep
+up to 128 asynchronous operations in flight on each. An operation costs
+a fixed round-trip latency (PCIe + host memory) plus transfer time on the
+shared PCIe bandwidth. Hiding this latency is why DMA is its own
+pipeline stage in FlexTOE.
+"""
+
+from repro.sim import Resource
+
+PCIE_GEN3_X8_BPS = 63_000_000_000  # ~7.9 GB/s usable
+
+
+class DmaEngine:
+    """Two transaction queues over shared PCIe bandwidth."""
+
+    def __init__(
+        self,
+        sim,
+        n_queues=2,
+        queue_depth=128,
+        latency_ns=700,
+        bandwidth_bps=PCIE_GEN3_X8_BPS,
+    ):
+        self.sim = sim
+        self.latency_ns = latency_ns
+        self.bandwidth_bps = bandwidth_bps
+        self._queues = [
+            Resource(sim, capacity=queue_depth, name="dma-q{}".format(i)) for i in range(n_queues)
+        ]
+        self._busy_until = 0
+        self.ops = 0
+        self.bytes_moved = 0
+
+    def transfer_time_ns(self, nbytes):
+        if nbytes <= 0:
+            return 0
+        return -(-nbytes * 8 * 1_000_000_000 // self.bandwidth_bps)
+
+    def issue(self, queue_id, nbytes):
+        """Start a DMA of ``nbytes``; returns an event firing on completion.
+
+        The caller (an FPC thread) does not hold its issue slot while the
+        DMA runs — that is the entire point of the asynchronous engine.
+        """
+        queue = self._queues[queue_id % len(self._queues)]
+        done = self.sim.event()
+        self.sim.process(self._run(queue, nbytes, done), name="dma-op")
+        return done
+
+    def _run(self, queue, nbytes, done):
+        grant = yield queue.request()
+        start = max(self.sim.now, self._busy_until)
+        finish = start + self.transfer_time_ns(nbytes)
+        self._busy_until = finish
+        yield self.sim.timeout(finish - self.sim.now + self.latency_ns)
+        self.ops += 1
+        self.bytes_moved += max(0, nbytes)
+        grant.release()
+        done.succeed()
+
+    @property
+    def in_flight(self):
+        return sum(q.in_use + q.queued for q in self._queues)

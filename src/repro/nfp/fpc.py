@@ -1,0 +1,117 @@
+"""Flow-processing cores with hardware multithreading.
+
+An FPC is a single-issue 32-bit core at 800 MHz with 8 hardware thread
+contexts. Exactly one thread occupies the issue pipeline at a time;
+threads voluntarily swap out on memory/IO waits, which is how the NFP
+hides its long memory latencies. The model enforces this with a
+capacity-1 issue slot held during :meth:`FpcThread.compute` and released
+during :meth:`FpcThread.mem_wait`.
+"""
+
+from repro.sim import Resource
+from repro.sim.clock import CYCLES_800MHZ
+
+#: Cycles to issue a memory/IO command before swapping out.
+ISSUE_CYCLES = 2
+
+
+class FpcThread:
+    """One hardware thread context; programs call its waiting helpers.
+
+    All helpers are generator functions used with ``yield from`` inside
+    the program generator.
+    """
+
+    __slots__ = ("fpc", "thread_id", "process")
+
+    def __init__(self, fpc, thread_id):
+        self.fpc = fpc
+        self.thread_id = thread_id
+        self.process = None
+
+    @property
+    def sim(self):
+        return self.fpc.sim
+
+    def compute(self, cycles):
+        """Execute ``cycles`` instructions; holds the issue slot."""
+        if cycles <= 0:
+            return
+        fpc = self.fpc
+        grant = yield fpc._issue.request()
+        duration = fpc.clock.cycles_to_ns(cycles)
+        yield self.sim.timeout(duration)
+        fpc.busy_cycles += cycles
+        grant.release()
+
+    def mem_read(self, level, issue_cycles=ISSUE_CYCLES):
+        """Read from a :class:`MemoryLevel`: brief issue, then latency
+        wait with the issue slot released (another thread may run)."""
+        yield from self.compute(issue_cycles)
+        level.reads += 1
+        yield self.sim.timeout(self.fpc.clock.cycles_to_ns(level.latency_cycles))
+
+    def mem_write(self, level, issue_cycles=ISSUE_CYCLES):
+        """Write (posted): brief issue, then latency wait off-slot."""
+        yield from self.compute(issue_cycles)
+        level.writes += 1
+        yield self.sim.timeout(self.fpc.clock.cycles_to_ns(level.latency_cycles))
+
+    def io_wait(self, event, issue_cycles=ISSUE_CYCLES):
+        """Issue an IO command and sleep until ``event`` fires."""
+        yield from self.compute(issue_cycles)
+        result = yield event
+        return result
+
+    def wait_cycles(self, cycles):
+        """Sleep without occupying the issue slot (e.g. signal wait)."""
+        yield self.sim.timeout(self.fpc.clock.cycles_to_ns(cycles))
+
+
+class Fpc:
+    """A flow-processing core hosting up to ``n_threads`` programs."""
+
+    def __init__(self, sim, name, clock=CYCLES_800MHZ, n_threads=8, code_store=32 * 1024):
+        self.sim = sim
+        self.name = name
+        self.clock = clock
+        self.n_threads = n_threads
+        self.code_store = code_store
+        self.code_used = 0
+        self._issue = Resource(sim, capacity=1, name="{}.issue".format(name))
+        self._threads = []
+        self.busy_cycles = 0
+
+    def spawn(self, program_factory, name=None):
+        """Start a program on a fresh hardware thread.
+
+        ``program_factory(thread)`` must return a generator. Raises when
+        all 8 thread contexts are taken.
+        """
+        if len(self._threads) >= self.n_threads:
+            raise RuntimeError("{}: all {} hardware threads in use".format(self.name, self.n_threads))
+        thread = FpcThread(self, len(self._threads))
+        self._threads.append(thread)
+        label = name or "{}.t{}".format(self.name, thread.thread_id)
+        thread.process = self.sim.process(program_factory(thread), name=label)
+        return thread
+
+    def load_code(self, nbytes):
+        """Account code-store usage; FPC code stores are only 32 KB."""
+        if self.code_used + nbytes > self.code_store:
+            raise MemoryError("{}: code store exhausted".format(self.name))
+        self.code_used += nbytes
+
+    @property
+    def threads_used(self):
+        return len(self._threads)
+
+    def utilization(self, elapsed_ns):
+        """Fraction of cycles spent issuing instructions."""
+        if elapsed_ns <= 0:
+            return 0.0
+        total_cycles = self.clock.ns_to_cycles(elapsed_ns)
+        return min(1.0, self.busy_cycles / total_cycles) if total_cycles else 0.0
+
+    def __repr__(self):
+        return "<Fpc {} threads={}/{}>".format(self.name, len(self._threads), self.n_threads)

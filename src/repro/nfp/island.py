@@ -1,0 +1,34 @@
+"""Islands: NUMA-like groups of 12 FPCs with local CLS and CTM."""
+
+from repro.nfp.fpc import Fpc
+from repro.nfp.memory import MEM_CLS, MEM_CTM
+
+
+class Island:
+    """A general-purpose island: 12 FPCs + island-local memories."""
+
+    def __init__(self, sim, island_id, n_fpcs=12, clock=None):
+        self.sim = sim
+        self.island_id = island_id
+        self.cls = MEM_CLS(island_id)
+        self.ctm = MEM_CTM(island_id)
+        kwargs = {} if clock is None else {"clock": clock}
+        self.fpcs = [
+            Fpc(sim, "i{}.fpc{}".format(island_id, i), **kwargs) for i in range(n_fpcs)
+        ]
+        self._next_free = 0
+
+    def claim_fpc(self):
+        """Hand out the next unassigned FPC; raises when none remain."""
+        if self._next_free >= len(self.fpcs):
+            raise RuntimeError("island {} has no free FPCs".format(self.island_id))
+        fpc = self.fpcs[self._next_free]
+        self._next_free += 1
+        return fpc
+
+    @property
+    def free_fpcs(self):
+        return len(self.fpcs) - self._next_free
+
+    def __repr__(self):
+        return "<Island {} ({} FPCs, {} free)>".format(self.island_id, len(self.fpcs), self.free_fpcs)

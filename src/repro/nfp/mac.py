@@ -1,0 +1,38 @@
+"""The MAC island and network block interface (NBI).
+
+The NBI receives frames from the wire and hands them to a configurable
+ingress handler (FlexTOE's pre-processing dispatch); transmit-side
+serialization happens on the attached network link.
+"""
+
+
+class MacBlock:
+    """Up to two 40 Gbps Ethernet interfaces; we model one."""
+
+    def __init__(self, sim, name="mac"):
+        self.sim = sim
+        self.name = name
+        self.port = None
+        self.rx_handler = None
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.rx_dropped_no_handler = 0
+
+    def attach_port(self, port):
+        """Bind to a network port; its receiver feeds the NBI."""
+        self.port = port
+        port.receiver = self._on_rx
+
+    def transmit(self, frame):
+        """Send a frame out the wire (NBI TX)."""
+        if self.port is None:
+            raise RuntimeError("MAC has no attached port")
+        self.tx_frames += 1
+        self.port.send(frame)
+
+    def _on_rx(self, frame):
+        self.rx_frames += 1
+        if self.rx_handler is None:
+            self.rx_dropped_no_handler += 1
+            return
+        self.rx_handler(frame)

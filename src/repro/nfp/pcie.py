@@ -1,0 +1,80 @@
+"""The PCIe island: MMIO doorbells, MSI-X interrupts, and the DMA engine.
+
+The host rings doorbells via MMIO (posted writes, a few hundred ns); the
+NIC raises MSI-X interrupts toward host eventfds. Context-queue payload
+moves through :class:`~repro.nfp.dma.DmaEngine`.
+"""
+
+from repro.nfp.dma import DmaEngine
+
+MMIO_WRITE_NS = 300
+
+
+class Doorbell:
+    """A NIC-side doorbell register the host writes via MMIO."""
+
+    __slots__ = ("pending", "waiters", "rings")
+
+    def __init__(self):
+        self.pending = 0
+        self.waiters = []
+        self.rings = 0
+
+
+class PcieBlock:
+    """Doorbell registers + MSI-X + the chip's DMA engine."""
+
+    def __init__(self, sim, dma=None):
+        self.sim = sim
+        self.dma = dma or DmaEngine(sim)
+        self._doorbells = {}
+        self._msix_handlers = {}
+        self.msix_raised = 0
+
+    def doorbell(self, key):
+        """Get-or-create the doorbell register for ``key``."""
+        if key not in self._doorbells:
+            self._doorbells[key] = Doorbell()
+        return self._doorbells[key]
+
+    def ring(self, key):
+        """Host-side MMIO write landing after the posted-write delay."""
+        bell = self.doorbell(key)
+
+        def fire(_event):
+            bell.rings += 1
+            if bell.waiters:
+                # The oldest waiter consumes this ring directly.
+                bell.waiters.pop(0).succeed()
+            else:
+                bell.pending += 1
+
+        self.sim.timeout(MMIO_WRITE_NS).callbacks.append(fire)
+
+    def wait_doorbell(self, key):
+        """NIC-side: event that fires when a ring is available; each fired
+        event consumes exactly one ring."""
+        bell = self.doorbell(key)
+        event = self.sim.event()
+        if bell.pending > 0:
+            bell.pending -= 1
+            event.succeed()
+        else:
+            bell.waiters.append(event)
+        return event
+
+    def register_msix(self, vector, handler):
+        """Host driver registers an interrupt handler (eventfd ping)."""
+        self._msix_handlers[vector] = handler
+
+    def raise_msix(self, vector):
+        """NIC raises an interrupt; handler runs after the PCIe delay."""
+        handler = self._msix_handlers.get(vector)
+        self.msix_raised += 1
+        if handler is None:
+            return
+
+        def fire(_event):
+            handler(vector)
+
+        self.sim.timeout(MMIO_WRITE_NS).callbacks.append(fire)

@@ -1,0 +1,76 @@
+"""Wire-format protocol headers: Ethernet, IPv4, TCP, ARP.
+
+All simulated stacks (FlexTOE, Linux, TAS, Chelsio) exchange
+:class:`~repro.proto.packet.Frame` objects carrying these headers, so
+interoperability experiments are genuine protocol exchanges. Headers pack
+to and unpack from real wire bytes (used by the pcap writer, the XDP VM,
+and round-trip property tests).
+"""
+
+from repro.proto.checksum import checksum16, checksum_update16, ones_complement_sum
+from repro.proto.ethernet import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_VLAN,
+    EthernetHeader,
+    mac_to_str,
+    str_to_mac,
+)
+from repro.proto.ip import IPPROTO_TCP, Ipv4Header, ip_to_str, str_to_ip
+from repro.proto.tcp import (
+    FLAG_ACK,
+    FLAG_CWR,
+    FLAG_ECE,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    FLAG_URG,
+    TcpHeader,
+    TcpOptions,
+    seq_add,
+    seq_after,
+    seq_between,
+    seq_diff,
+    seq_lt,
+    seq_lte,
+)
+from repro.proto.arp import ARP_REPLY, ARP_REQUEST, ArpHeader
+from repro.proto.packet import Frame, make_tcp_frame
+
+__all__ = [
+    "ARP_REPLY",
+    "ARP_REQUEST",
+    "ArpHeader",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_VLAN",
+    "EthernetHeader",
+    "FLAG_ACK",
+    "FLAG_CWR",
+    "FLAG_ECE",
+    "FLAG_FIN",
+    "FLAG_PSH",
+    "FLAG_RST",
+    "FLAG_SYN",
+    "FLAG_URG",
+    "Frame",
+    "IPPROTO_TCP",
+    "Ipv4Header",
+    "TcpHeader",
+    "TcpOptions",
+    "checksum16",
+    "checksum_update16",
+    "ip_to_str",
+    "mac_to_str",
+    "make_tcp_frame",
+    "ones_complement_sum",
+    "seq_add",
+    "seq_after",
+    "seq_between",
+    "seq_diff",
+    "seq_lt",
+    "seq_lte",
+    "str_to_ip",
+    "str_to_mac",
+]

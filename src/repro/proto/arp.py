@@ -1,0 +1,62 @@
+"""ARP for IPv4-over-Ethernet: enough for control-plane address resolution."""
+
+import struct
+
+ARP_REQUEST = 1
+ARP_REPLY = 2
+
+_FORMAT = "!HHBBH6sI6sI"
+WIRE_LEN = struct.calcsize(_FORMAT)
+
+
+class ArpHeader:
+    """An ARP packet for IPv4 over Ethernet."""
+
+    __slots__ = ("op", "sender_mac", "sender_ip", "target_mac", "target_ip")
+
+    def __init__(self, op, sender_mac, sender_ip, target_mac, target_ip):
+        self.op = op
+        self.sender_mac = sender_mac
+        self.sender_ip = sender_ip
+        self.target_mac = target_mac
+        self.target_ip = target_ip
+
+    @property
+    def wire_len(self):
+        return WIRE_LEN
+
+    @classmethod
+    def request(cls, sender_mac, sender_ip, target_ip):
+        return cls(ARP_REQUEST, sender_mac, sender_ip, 0, target_ip)
+
+    def reply(self, responder_mac):
+        """Build the reply to this request, from ``responder_mac``."""
+        return ArpHeader(ARP_REPLY, responder_mac, self.target_ip, self.sender_mac, self.sender_ip)
+
+    def pack(self):
+        return struct.pack(
+            _FORMAT,
+            1,  # hardware type: Ethernet
+            0x0800,  # protocol type: IPv4
+            6,
+            4,
+            self.op,
+            self.sender_mac.to_bytes(6, "big"),
+            self.sender_ip,
+            self.target_mac.to_bytes(6, "big"),
+            self.target_ip,
+        )
+
+    @classmethod
+    def unpack(cls, data):
+        if len(data) < WIRE_LEN:
+            raise ValueError("truncated ARP packet")
+        htype, ptype, hlen, plen, op, smac, sip, tmac, tip = struct.unpack_from(_FORMAT, data, 0)
+        if (htype, ptype, hlen, plen) != (1, 0x0800, 6, 4):
+            raise ValueError("unsupported ARP encoding")
+        header = cls(op, int.from_bytes(smac, "big"), sip, int.from_bytes(tmac, "big"), tip)
+        return header, WIRE_LEN
+
+    def __repr__(self):
+        kind = "who-has" if self.op == ARP_REQUEST else "is-at"
+        return "<ARP {} target_ip={}>".format(kind, self.target_ip)

@@ -1,0 +1,90 @@
+"""Ethernet II header, with optional 802.1Q VLAN tag.
+
+MAC addresses are stored as 48-bit integers for cheap comparison and
+hashing in the simulation hot path; string helpers exist for display.
+"""
+
+import struct
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_VLAN = 0x8100
+
+HEADER_LEN = 14
+VLAN_TAG_LEN = 4
+
+
+def str_to_mac(text):
+    """'aa:bb:cc:dd:ee:ff' -> 48-bit integer."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError("malformed MAC address: {!r}".format(text))
+    value = 0
+    for part in parts:
+        value = (value << 8) | int(part, 16)
+    return value
+
+
+def mac_to_str(value):
+    """48-bit integer -> 'aa:bb:cc:dd:ee:ff'."""
+    return ":".join("{:02x}".format((value >> shift) & 0xFF) for shift in range(40, -8, -8))
+
+
+class EthernetHeader:
+    """An Ethernet II header; ``vlan`` holds a 12-bit VLAN id or None."""
+
+    __slots__ = ("dst", "src", "ethertype", "vlan", "vlan_pcp")
+
+    def __init__(self, dst, src, ethertype=ETHERTYPE_IPV4, vlan=None, vlan_pcp=0):
+        self.dst = dst
+        self.src = src
+        self.ethertype = ethertype
+        self.vlan = vlan
+        self.vlan_pcp = vlan_pcp
+
+    @property
+    def wire_len(self):
+        return HEADER_LEN + (VLAN_TAG_LEN if self.vlan is not None else 0)
+
+    def pack(self):
+        dst_bytes = self.dst.to_bytes(6, "big")
+        src_bytes = self.src.to_bytes(6, "big")
+        if self.vlan is None:
+            return dst_bytes + src_bytes + struct.pack("!H", self.ethertype)
+        tci = ((self.vlan_pcp & 0x7) << 13) | (self.vlan & 0x0FFF)
+        return dst_bytes + src_bytes + struct.pack("!HHH", ETHERTYPE_VLAN, tci, self.ethertype)
+
+    @classmethod
+    def unpack(cls, data):
+        """Parse a header from ``data``; returns (header, bytes_consumed)."""
+        if len(data) < HEADER_LEN:
+            raise ValueError("truncated Ethernet header")
+        dst = int.from_bytes(data[0:6], "big")
+        src = int.from_bytes(data[6:12], "big")
+        (ethertype,) = struct.unpack_from("!H", data, 12)
+        if ethertype != ETHERTYPE_VLAN:
+            return cls(dst, src, ethertype), HEADER_LEN
+        if len(data) < HEADER_LEN + VLAN_TAG_LEN:
+            raise ValueError("truncated VLAN tag")
+        tci, inner = struct.unpack_from("!HH", data, 14)
+        header = cls(dst, src, inner, vlan=tci & 0x0FFF, vlan_pcp=(tci >> 13) & 0x7)
+        return header, HEADER_LEN + VLAN_TAG_LEN
+
+    def copy(self):
+        return EthernetHeader(self.dst, self.src, self.ethertype, self.vlan, self.vlan_pcp)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, EthernetHeader)
+            and self.dst == other.dst
+            and self.src == other.src
+            and self.ethertype == other.ethertype
+            and self.vlan == other.vlan
+            and self.vlan_pcp == other.vlan_pcp
+        )
+
+    def __repr__(self):
+        tag = "" if self.vlan is None else " vlan={}".format(self.vlan)
+        return "<Eth {}->{} type=0x{:04x}{}>".format(
+            mac_to_str(self.src), mac_to_str(self.dst), self.ethertype, tag
+        )

@@ -1,0 +1,332 @@
+"""Event loop, events, and processes for discrete-event simulation.
+
+The design follows simpy's coroutine model: a :class:`Process` wraps a
+generator that yields :class:`Event` objects; the process resumes when the
+yielded event fires. Time is an integer (nanoseconds by convention).
+"""
+
+import heapq
+
+#: Event priorities. Lower sorts earlier at equal timestamps.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for illegal uses of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* once :meth:`succeed` or :meth:`fail` is called;
+    its callbacks then run at the current simulation time.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._scheduled = False
+
+    @property
+    def triggered(self):
+        return self._value is not PENDING
+
+    @property
+    def ok(self):
+        if self._value is PENDING:
+            raise SimulationError("event has not been triggered")
+        return self._ok
+
+    @property
+    def value(self):
+        if self._value is PENDING:
+            raise SimulationError("event has not been triggered")
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event successfully with an optional payload."""
+        if self._value is not PENDING:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._post(self, NORMAL)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event with an exception to throw into waiters."""
+        if self._value is not PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._post(self, NORMAL)
+        return self
+
+    def __repr__(self):
+        state = "triggered" if self.triggered else "pending"
+        return "<{} {}>".format(type(self).__name__, state)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, delay, value=None):
+        if delay < 0:
+            raise SimulationError("negative timeout delay: {!r}".format(delay))
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        sim._post(self, NORMAL, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, process):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._post(self, URGENT)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it terminates."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim, generator, name=None):
+        if not hasattr(generator, "throw"):
+            raise SimulationError("process requires a generator, got {!r}".format(generator))
+        super().__init__(sim)
+        self._generator = generator
+        self._target = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self):
+        return self._value is PENDING
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._value is not PENDING:
+            raise SimulationError("cannot interrupt a terminated process")
+        target = self._target
+        if target is not None and target.callbacks and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        event = Event(self.sim)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.callbacks.append(self._resume)
+        self.sim._post(event, URGENT)
+
+    def _resume(self, event):
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = getattr(stop, "value", None)
+            self.sim._post(self, NORMAL)
+            self.sim._active_process = None
+            return
+        except BaseException as exc:
+            if not self.callbacks:
+                self.sim._active_process = None
+                raise
+            self._ok = False
+            self._value = exc
+            self.sim._post(self, NORMAL)
+            self.sim._active_process = None
+            return
+        finally:
+            self.sim._active_process = None
+        if not isinstance(result, Event):
+            raise SimulationError(
+                "process {!r} yielded {!r}; processes must yield events".format(self.name, result)
+            )
+        if result.callbacks is None:
+            # Already-fired, already-drained event: resume immediately.
+            event2 = Event(self.sim)
+            event2._ok = result._ok
+            event2._value = result._value
+            event2.callbacks.append(self._resume)
+            self.sim._post(event2, URGENT)
+            self._target = event2
+        else:
+            result.callbacks.append(self._resume)
+            self._target = result
+
+
+class Condition(Event):
+    """Fires when a boolean combination of sub-events is satisfied."""
+
+    __slots__ = ("_events", "_count", "_done")
+
+    def __init__(self, sim, events, wait_for_all):
+        super().__init__(sim)
+        self._events = list(events)
+        self._done = set()
+        need = len(self._events) if wait_for_all else min(1, len(self._events))
+        self._count = need
+        if need == 0:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                # Already fired and drained.
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self):
+        return {e: e._value for e in self._events if e in self._done}
+
+    def _check(self, event):
+        self._done.add(event)
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count -= 1
+        if self._count <= 0:
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Fires when every sub-event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, events):
+        super().__init__(sim, events, wait_for_all=True)
+
+
+class AnyOf(Condition):
+    """Fires when at least one sub-event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, events):
+        super().__init__(sim, events, wait_for_all=False)
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(100)
+
+        sim.process(worker(sim))
+        sim.run()
+    """
+
+    def __init__(self):
+        self.now = 0
+        self._heap = []
+        self._seq = 0
+        self._active_process = None
+        self._event_count = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _post(self, event, priority, delay=0):
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    # -- factories -------------------------------------------------------
+
+    def event(self):
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator, name=None):
+        return Process(self, generator, name=name)
+
+    def all_of(self, events):
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        return AnyOf(self, events)
+
+    # -- running ---------------------------------------------------------
+
+    def peek(self):
+        """Timestamp of the next scheduled event, or None if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self):
+        """Process one event. Raises IndexError when the heap is empty."""
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        self._event_count += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until=None):
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        ``until`` may also be an :class:`Event`; the loop then runs until
+        that event fires (its value is returned).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.triggered:
+                if not self._heap:
+                    raise SimulationError("simulation ran out of events before condition")
+                self.step()
+            if not stop._ok:
+                raise stop._value
+            return stop._value
+        deadline = None if until is None else int(until)
+        while self._heap:
+            if deadline is not None and self._heap[0][0] > deadline:
+                self.now = deadline
+                return None
+            self.step()
+        if deadline is not None:
+            self.now = deadline
+        return None
+
+    @property
+    def processed_events(self):
+        return self._event_count

@@ -1,0 +1,217 @@
+"""Shared-resource primitives: FIFO stores, priority stores, semaphores.
+
+These are the communication channels between simulated components: ring
+buffers between pipeline stages are bounded :class:`Store` objects, FPC
+issue slots are :class:`Resource` objects, and so on.
+"""
+
+import heapq
+from collections import deque
+
+from repro.sim.core import Event, SimulationError
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store, item):
+        super().__init__(store.sim)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+    def __init__(self, store):
+        super().__init__(store.sim)
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """A FIFO channel with optional bounded capacity.
+
+    ``put(item)`` returns an event that fires once the item is accepted
+    (immediately if there is room). ``get()`` returns an event whose value
+    is the retrieved item.
+    """
+
+    def __init__(self, sim, capacity=None, name=None):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items = deque()
+        self._put_queue = deque()
+        self._get_queue = deque()
+        self.max_occupancy = 0
+
+    def __len__(self):
+        return len(self.items)
+
+    @property
+    def is_full(self):
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item):
+        return StorePut(self, item)
+
+    def get(self):
+        return StoreGet(self)
+
+    def try_put(self, item):
+        """Non-blocking put. Returns True if the item was accepted."""
+        if self.is_full:
+            return False
+        self._accept(item)
+        return True
+
+    def try_get(self):
+        """Non-blocking get. Returns (True, item) or (False, None)."""
+        if self.items:
+            item = self.items.popleft()
+            self._drain_puts()
+            return True, item
+        return False, None
+
+    def force_put(self, item):
+        """Insert even when full (capacity overshoot); wakes waiting gets.
+
+        For internal flow-control situations where blocking would
+        deadlock (e.g. a reorder buffer draining into a stage ring).
+        """
+        self._accept(item)
+
+    def _accept(self, item):
+        self._insert(item)
+        if len(self.items) > self.max_occupancy:
+            self.max_occupancy = len(self.items)
+        self._serve_gets()
+
+    def _insert(self, item):
+        self.items.append(item)
+
+    def _pop(self):
+        return self.items.popleft()
+
+    def _serve_gets(self):
+        while self.items and self._get_queue:
+            get = self._get_queue.popleft()
+            get.succeed(self._pop())
+
+    def _drain_puts(self):
+        while self._put_queue and not self.is_full:
+            put = self._put_queue.popleft()
+            self._accept(put.item)
+            put.succeed()
+
+    def _trigger(self):
+        # Serve pending puts first (space may exist), then gets.
+        while True:
+            moved = False
+            if self._put_queue and not self.is_full:
+                put = self._put_queue.popleft()
+                self._accept(put.item)
+                put.succeed()
+                moved = True
+            if self.items and self._get_queue:
+                get = self._get_queue.popleft()
+                get.succeed(self._pop())
+                moved = True
+            if not moved:
+                return
+
+
+class PriorityStore(Store):
+    """A store that yields the smallest item first (heap order).
+
+    Items must be orderable; use ``(priority, seq, payload)`` tuples.
+    """
+
+    def __init__(self, sim, capacity=None, name=None):
+        super().__init__(sim, capacity, name)
+        self.items = []
+
+    def __len__(self):
+        return len(self.items)
+
+    def _insert(self, item):
+        heapq.heappush(self.items, item)
+
+    def _pop(self):
+        return heapq.heappop(self.items)
+
+    def try_get(self):
+        if self.items:
+            item = heapq.heappop(self.items)
+            self._drain_puts()
+            return True, item
+        return False, None
+
+
+class ResourceRequest(Event):
+    __slots__ = ("resource",)
+
+    def __init__(self, resource):
+        super().__init__(resource.sim)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._grant()
+
+    def release(self):
+        self.resource.release(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.release()
+        return False
+
+
+class Resource:
+    """A counting semaphore with FIFO granting.
+
+    ::
+
+        with (yield resource.request()) as grant:
+            ... exclusive section ...
+    """
+
+    def __init__(self, sim, capacity=1, name=None):
+        if capacity <= 0:
+            raise SimulationError("resource capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._queue = deque()
+        self._users = set()
+
+    @property
+    def in_use(self):
+        return len(self._users)
+
+    @property
+    def queued(self):
+        return len(self._queue)
+
+    def request(self):
+        return ResourceRequest(self)
+
+    def release(self, request):
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._queue:
+            self._queue.remove(request)
+        else:
+            raise SimulationError("releasing a grant that is not held")
+        self._grant()
+
+    def _grant(self):
+        while self._queue and len(self._users) < self.capacity:
+            request = self._queue.popleft()
+            self._users.add(request)
+            request.succeed(request)

@@ -1,0 +1,7 @@
+"""Measurement utilities: latency histograms, throughput meters, fairness."""
+
+from repro.stats.fairness import jains_fairness_index
+from repro.stats.histogram import LatencyHistogram
+from repro.stats.meters import IntervalSeries, ThroughputMeter
+
+__all__ = ["IntervalSeries", "LatencyHistogram", "ThroughputMeter", "jains_fairness_index"]

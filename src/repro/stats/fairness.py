@@ -1,0 +1,15 @@
+"""Fairness metrics: Jain's fairness index (Figure 16, Table 4)."""
+
+
+def jains_fairness_index(values):
+    """JFI = (sum x)^2 / (n * sum x^2); 1.0 is perfectly fair.
+
+    Returns 1.0 for an empty input (vacuously fair)."""
+    values = list(values)
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)

@@ -1,0 +1,93 @@
+"""HDR-style latency histogram with logarithmic buckets.
+
+Records nanosecond latencies into log2 buckets with linear sub-buckets,
+giving bounded relative error at any magnitude — the structure real
+latency-measurement tools (HdrHistogram) use, so tail percentiles
+(99.99p in Figure 12 / Table 4) stay accurate without storing samples.
+"""
+
+SUB_BUCKET_BITS = 5
+SUB_BUCKETS = 1 << SUB_BUCKET_BITS
+
+
+class LatencyHistogram:
+    """Log-bucketed histogram over positive integer values (ns)."""
+
+    def __init__(self):
+        self._buckets = {}
+        self.count = 0
+        self.total = 0
+        self.min_value = None
+        self.max_value = None
+
+    def record(self, value):
+        if value < 0:
+            raise ValueError("latency cannot be negative")
+        value = int(value)
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        key = self._bucket_key(value)
+        self._buckets[key] = self._buckets.get(key, 0) + 1
+
+    @staticmethod
+    def _bucket_key(value):
+        if value < SUB_BUCKETS:
+            return (0, value)
+        magnitude = value.bit_length() - SUB_BUCKET_BITS
+        return (magnitude, value >> magnitude)
+
+    @staticmethod
+    def _bucket_midpoint(key):
+        magnitude, sub = key
+        if magnitude == 0:
+            return sub
+        low = sub << magnitude
+        high = ((sub + 1) << magnitude) - 1
+        return (low + high) // 2
+
+    def percentile(self, pct):
+        """Value at the given percentile (0 < pct <= 100)."""
+        if self.count == 0:
+            return 0
+        if not 0 < pct <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        target = max(1, -(-self.count * pct // 100))  # ceil
+        running = 0
+        for key in sorted(self._buckets):
+            running += self._buckets[key]
+            if running >= target:
+                return self._bucket_midpoint(key)
+        return self.max_value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other):
+        for key, count in other._buckets.items():
+            self._buckets[key] = self._buckets.get(key, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.min_value is not None:
+            if self.min_value is None or other.min_value < self.min_value:
+                self.min_value = other.min_value
+        if other.max_value is not None:
+            if self.max_value is None or other.max_value > self.max_value:
+                self.max_value = other.max_value
+
+    def summary(self):
+        """(min, p50, p99, p99.99, max) in recorded units."""
+        return (
+            self.min_value or 0,
+            self.percentile(50),
+            self.percentile(99),
+            self.percentile(99.99),
+            self.max_value or 0,
+        )
+
+    def __len__(self):
+        return self.count

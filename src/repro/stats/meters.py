@@ -1,0 +1,60 @@
+"""Throughput meters and interval series."""
+
+
+class ThroughputMeter:
+    """Counts events/bytes over a window of simulated time."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.started_at = sim.now
+        self.events = 0
+        self.bytes = 0
+
+    def record(self, nbytes=0):
+        self.events += 1
+        self.bytes += nbytes
+
+    def reset(self):
+        self.started_at = self.sim.now
+        self.events = 0
+        self.bytes = 0
+
+    @property
+    def elapsed_ns(self):
+        return max(1, self.sim.now - self.started_at)
+
+    @property
+    def ops_per_sec(self):
+        return self.events * 1_000_000_000 / self.elapsed_ns
+
+    @property
+    def bits_per_sec(self):
+        return self.bytes * 8 * 1_000_000_000 / self.elapsed_ns
+
+
+class IntervalSeries:
+    """Per-interval samples (e.g. per-connection goodput over a run)."""
+
+    def __init__(self):
+        self.samples = []
+
+    def add(self, value):
+        self.samples.append(value)
+
+    def percentile(self, pct):
+        if not self.samples:
+            return 0
+        ordered = sorted(self.samples)
+        index = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1)))))
+        return ordered[index]
+
+    @property
+    def median(self):
+        return self.percentile(50)
+
+    @property
+    def mean(self):
+        return sum(self.samples) / len(self.samples) if self.samples else 0
+
+    def __len__(self):
+        return len(self.samples)

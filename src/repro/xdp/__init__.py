@@ -1,0 +1,41 @@
+"""XDP/eBPF support for the FlexTOE data-path (paper §3.3).
+
+eBPF programs can be compiled to NFP assembly and dynamically loaded
+into FlexTOE; here they run on a faithful register VM:
+
+* :mod:`repro.xdp.maps` — BPF maps (array / hash / LRU-hash) with the
+  atomic update semantics modules and the control plane share.
+* :mod:`repro.xdp.vm` — a 64-bit 11-register eBPF interpreter with
+  packet/stack/map memory and the map helpers.
+* :mod:`repro.xdp.asm` — a textual assembler producing VM programs.
+* :mod:`repro.xdp.verifier` — load-time checks (bounded programs, no
+  back-edges, register initialization, valid helpers).
+* :mod:`repro.xdp.adapter` — runs native-Python or VM programs as
+  FlexTOE pipeline modules with per-instruction cycle accounting.
+* :mod:`repro.xdp.builtins` — the paper's example modules: connection
+  splicing (Listing 1), firewall, VLAN strip, flow classifier, null.
+"""
+
+from repro.xdp.adapter import PyXdpProgram, XdpAdapter
+from repro.xdp.asm import assemble
+from repro.xdp.maps import BpfArrayMap, BpfHashMap, BpfLruHashMap
+from repro.xdp.program import XDP_DROP, XDP_PASS, XDP_REDIRECT, XDP_TX
+from repro.xdp.verifier import VerifierError, verify
+from repro.xdp.vm import BpfVm, VmFault
+
+__all__ = [
+    "BpfArrayMap",
+    "BpfHashMap",
+    "BpfLruHashMap",
+    "BpfVm",
+    "PyXdpProgram",
+    "VerifierError",
+    "VmFault",
+    "XDP_DROP",
+    "XDP_PASS",
+    "XDP_REDIRECT",
+    "XDP_TX",
+    "XdpAdapter",
+    "assemble",
+    "verify",
+]

@@ -1,0 +1,150 @@
+"""A textual assembler for the eBPF VM.
+
+Syntax (one instruction per line, ``;`` comments, ``label:`` targets)::
+
+    ; r2 = packet data, r3 = data_end
+    ldxdw r2, [r1+0]
+    ldxdw r3, [r1+8]
+    mov r4, r2
+    add r4, 14
+    jgt r4, r3, out          ; bounds check
+    ldxb r5, [r2+12]
+    jeq r5, 0x08, ipv4
+    out:
+    mov r0, 1                ; XDP_PASS
+    exit
+
+Operand forms: ``rN`` registers, decimal/hex immediates, ``[rN+off]``
+memory operands, label jump targets. ``lddw rN, map:FD`` loads a map
+file descriptor for the helper calls. Mnemonics mirror
+:mod:`repro.xdp.vm`; register-register ALU/JMP forms are selected
+automatically when the second operand is a register."""
+
+import re
+
+from repro.xdp.vm import Insn
+
+_MEM_RE = re.compile(r"^\[r(\d+)\s*([+-]\s*\d+|[+-]\s*0x[0-9a-fA-F]+)?\]$")
+
+_NO_OPERANDS = {"exit"}
+_JUMPS = {"ja", "jeq", "jne", "jgt", "jge", "jlt", "jle", "jset", "jsgt", "jsge", "jslt", "jsle"}
+_ALU = {
+    "mov", "mov32", "add", "sub", "mul", "div", "mod", "and", "or", "xor",
+    "lsh", "rsh", "arsh", "add32", "sub32", "mul32", "div32", "mod32",
+    "and32", "or32", "xor32", "lsh32", "rsh32", "arsh32",
+}
+_UNARY = {"neg", "neg32", "be16", "be32", "be64", "le16", "le32", "le64"}
+
+
+class AsmError(Exception):
+    pass
+
+
+def _parse_int(token):
+    token = token.strip()
+    return int(token.replace(" ", ""), 0)
+
+
+def _parse_reg(token):
+    token = token.strip()
+    if not token.startswith("r") or not token[1:].isdigit():
+        raise AsmError("expected register, got {!r}".format(token))
+    reg = int(token[1:])
+    if reg > 10:
+        raise AsmError("no such register r{}".format(reg))
+    return reg
+
+
+def _parse_mem(token):
+    match = _MEM_RE.match(token.strip())
+    if not match:
+        raise AsmError("expected memory operand, got {!r}".format(token))
+    reg = int(match.group(1))
+    off = _parse_int(match.group(2)) if match.group(2) else 0
+    return reg, off
+
+
+def _split_operands(rest):
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+def assemble(text):
+    """Assemble source text into a list of :class:`Insn`."""
+    # First pass: strip comments, find labels.
+    lines = []
+    labels = {}
+    for raw in text.splitlines():
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        while True:
+            match = re.match(r"^([A-Za-z_][\w]*):\s*(.*)$", line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels:
+                raise AsmError("duplicate label {!r}".format(label))
+            labels[label] = len(lines)
+            line = match.group(2).strip()
+            if not line:
+                break
+        if line:
+            lines.append(line)
+
+    program = []
+    for index, line in enumerate(lines):
+        parts = line.split(None, 1)
+        op = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        program.append(_encode(op, operands, index, labels))
+    return program
+
+
+def _branch_off(target, index, labels):
+    if target in labels:
+        return labels[target] - index - 1
+    return _parse_int(target)
+
+
+def _encode(op, operands, index, labels):
+    if op in _NO_OPERANDS:
+        return Insn("exit")
+    if op == "call":
+        return Insn("call", imm=_parse_int(operands[0]))
+    if op == "ja":
+        return Insn("ja", off=_branch_off(operands[0], index, labels))
+    if op in _JUMPS:
+        if len(operands) != 3:
+            raise AsmError("{} needs dst, src, target".format(op))
+        dst = _parse_reg(operands[0])
+        off = _branch_off(operands[2], index, labels)
+        if operands[1].startswith("r"):
+            return Insn(op + ".reg", dst=dst, src=_parse_reg(operands[1]), off=off)
+        return Insn(op + ".imm", dst=dst, imm=_parse_int(operands[1]), off=off)
+    if op == "lddw":
+        dst = _parse_reg(operands[0])
+        value = operands[1]
+        if value.startswith("map:"):
+            return Insn("lddw", dst=dst, imm=_parse_int(value[4:]))
+        return Insn("lddw", dst=dst, imm=_parse_int(value))
+    if op in _UNARY:
+        return Insn(op + ".none", dst=_parse_reg(operands[0]))
+    if op in _ALU:
+        dst = _parse_reg(operands[0])
+        if operands[1].startswith("[") or len(operands) != 2:
+            raise AsmError("bad ALU operands for {}".format(op))
+        if operands[1].startswith("r"):
+            return Insn(op + ".reg", dst=dst, src=_parse_reg(operands[1]))
+        return Insn(op + ".imm", dst=dst, imm=_parse_int(operands[1]))
+    if op.startswith("ldx"):
+        dst = _parse_reg(operands[0])
+        src, off = _parse_mem(operands[1])
+        return Insn(op + ".mem", dst=dst, src=src, off=off)
+    if op.startswith("stx"):
+        dst, off = _parse_mem(operands[0])
+        src = _parse_reg(operands[1])
+        return Insn(op + ".mem", dst=dst, src=src, off=off)
+    if op.startswith("st"):
+        dst, off = _parse_mem(operands[0])
+        return Insn(op + ".mem", dst=dst, off=off, imm=_parse_int(operands[1]))
+    raise AsmError("unknown mnemonic {!r}".format(op))

@@ -1,0 +1,21 @@
+"""Builtin XDP modules from the paper: splicing, firewall, VLAN strip,
+flow classification, and the null program (Table 2)."""
+
+from repro.xdp.builtins.splice import SpliceEntry, SpliceProgram, splice_key
+from repro.xdp.builtins.firewall import FirewallProgram, firewall_asm_program
+from repro.xdp.builtins.vlan import VlanStripProgram
+from repro.xdp.builtins.filter import FlowClassifierProgram, classifier_asm_program
+from repro.xdp.builtins.null import NullProgram, null_asm_program
+
+__all__ = [
+    "FirewallProgram",
+    "FlowClassifierProgram",
+    "NullProgram",
+    "SpliceEntry",
+    "SpliceProgram",
+    "VlanStripProgram",
+    "classifier_asm_program",
+    "firewall_asm_program",
+    "null_asm_program",
+    "splice_key",
+]

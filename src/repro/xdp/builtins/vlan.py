@@ -1,0 +1,19 @@
+"""VLAN stripping on ingress (Table 2's 'XDP (vlan-strip)' row)."""
+
+from repro.xdp.adapter import PyXdpProgram
+from repro.xdp.program import XDP_PASS
+
+
+class VlanStripProgram(PyXdpProgram):
+    name = "vlan-strip"
+    cost_cycles = 28
+
+    def __init__(self):
+        self.stripped = 0
+
+    def run(self, frame, meta):
+        if frame.eth.vlan is not None:
+            frame.eth.vlan = None
+            frame.eth.vlan_pcp = 0
+            self.stripped += 1
+        return XDP_PASS

@@ -1,0 +1,47 @@
+"""Disassembler for VM programs: the inverse of :mod:`repro.xdp.asm`.
+
+Used by debugging tooling (dump a loaded program) and by the round-trip
+property tests that pin down the assembler's encoding.
+"""
+
+_SIZES = ("b", "h", "w", "dw")
+
+
+def disassemble_insn(insn):
+    """One instruction -> its canonical assembly text (numeric branch
+    offsets; labels are a source-level convenience only)."""
+    op = insn.op
+    base, _, mode = op.partition(".")
+    if base == "exit":
+        return "exit"
+    if base == "call":
+        return "call {}".format(insn.imm)
+    if base == "ja":
+        return "ja {}".format(insn.off)
+    if base in ("jeq", "jne", "jgt", "jge", "jlt", "jle", "jset", "jsgt", "jsge", "jslt", "jsle"):
+        src = "r{}".format(insn.src) if mode == "reg" else str(insn.imm)
+        return "{} r{}, {}, {}".format(base, insn.dst, src, insn.off)
+    if base == "lddw":
+        return "lddw r{}, {}".format(insn.dst, insn.imm)
+    if base in ("neg", "neg32") or base.startswith("be") or base.startswith("le"):
+        return "{} r{}".format(base, insn.dst)
+    if base.startswith("ldx"):
+        return "{} r{}, [r{}{}]".format(base, insn.dst, insn.src, _off(insn.off))
+    if base.startswith("stx"):
+        return "{} [r{}{}], r{}".format(base, insn.dst, _off(insn.off), insn.src)
+    if base.startswith("st"):
+        return "{} [r{}{}], {}".format(base, insn.dst, _off(insn.off), insn.imm)
+    # ALU / mov forms.
+    src = "r{}".format(insn.src) if mode == "reg" else str(insn.imm)
+    return "{} r{}, {}".format(base, insn.dst, src)
+
+
+def _off(off):
+    if off == 0:
+        return "+0"
+    return "{:+d}".format(off)
+
+
+def disassemble(program):
+    """Program -> assembly text, one instruction per line."""
+    return "\n".join(disassemble_insn(insn) for insn in program)

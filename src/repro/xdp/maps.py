@@ -1,0 +1,135 @@
+"""BPF maps: fixed-size-key/value stores shared between data-path
+modules and the control plane (paper §3.3).
+
+Keys and values are fixed-length byte strings, as in the kernel ABI; the
+VM reads and writes them through pointers into the map's value storage.
+Updates are atomic with respect to module invocations (the simulation's
+cooperative scheduling guarantees module handlers never interleave
+mid-update, matching the NFP's per-entry locking)."""
+
+from collections import OrderedDict
+
+
+class BpfMapError(Exception):
+    pass
+
+
+class _BaseMap:
+    def __init__(self, key_size, value_size, max_entries, name="map"):
+        if key_size <= 0 or value_size <= 0 or max_entries <= 0:
+            raise BpfMapError("map dimensions must be positive")
+        self.key_size = key_size
+        self.value_size = value_size
+        self.max_entries = max_entries
+        self.name = name
+        self.lookups = 0
+        self.updates = 0
+        self.deletes = 0
+
+    def _check_key(self, key):
+        if len(key) != self.key_size:
+            raise BpfMapError(
+                "{}: key size {} != {}".format(self.name, len(key), self.key_size)
+            )
+        return bytes(key)
+
+    def _check_value(self, value):
+        if len(value) != self.value_size:
+            raise BpfMapError(
+                "{}: value size {} != {}".format(self.name, len(value), self.value_size)
+            )
+        return bytearray(value)
+
+
+class BpfHashMap(_BaseMap):
+    """bpf_map_type BPF_MAP_TYPE_HASH."""
+
+    def __init__(self, key_size, value_size, max_entries, name="hash"):
+        super().__init__(key_size, value_size, max_entries, name)
+        self._table = {}
+
+    def lookup(self, key):
+        """Returns the value storage (bytearray) or None."""
+        self.lookups += 1
+        return self._table.get(self._check_key(key))
+
+    def update(self, key, value):
+        key = self._check_key(key)
+        value = self._check_value(value)
+        if key not in self._table and len(self._table) >= self.max_entries:
+            raise BpfMapError("{}: map full".format(self.name))
+        self.updates += 1
+        self._table[key] = value
+
+    def delete(self, key):
+        self.deletes += 1
+        return self._table.pop(self._check_key(key), None) is not None
+
+    def keys(self):
+        return list(self._table.keys())
+
+    def __len__(self):
+        return len(self._table)
+
+
+class BpfLruHashMap(BpfHashMap):
+    """BPF_MAP_TYPE_LRU_HASH: full map evicts the least recently used."""
+
+    def __init__(self, key_size, value_size, max_entries, name="lru-hash"):
+        super().__init__(key_size, value_size, max_entries, name)
+        self._table = OrderedDict()
+
+    def lookup(self, key):
+        self.lookups += 1
+        key = self._check_key(key)
+        value = self._table.get(key)
+        if value is not None:
+            self._table.move_to_end(key)
+        return value
+
+    def update(self, key, value):
+        key = self._check_key(key)
+        value = self._check_value(value)
+        if key not in self._table and len(self._table) >= self.max_entries:
+            self._table.popitem(last=False)
+        self.updates += 1
+        self._table[key] = value
+        self._table.move_to_end(key)
+
+
+class BpfArrayMap(_BaseMap):
+    """BPF_MAP_TYPE_ARRAY: 4-byte little-endian index keys, preallocated."""
+
+    def __init__(self, value_size, max_entries, name="array"):
+        super().__init__(4, value_size, max_entries, name)
+        self._slots = [bytearray(value_size) for _ in range(max_entries)]
+
+    def _index(self, key):
+        key = self._check_key(key)
+        return int.from_bytes(key, "little")
+
+    def lookup(self, key):
+        self.lookups += 1
+        index = self._index(key)
+        if index >= self.max_entries:
+            return None
+        return self._slots[index]
+
+    def update(self, key, value):
+        index = self._index(key)
+        if index >= self.max_entries:
+            raise BpfMapError("{}: index {} out of range".format(self.name, index))
+        self.updates += 1
+        self._slots[index][:] = self._check_value(value)
+
+    def delete(self, key):
+        """Array entries cannot be deleted; they zero out."""
+        index = self._index(key)
+        if index >= self.max_entries:
+            return False
+        self.deletes += 1
+        self._slots[index][:] = bytes(self.value_size)
+        return True
+
+    def __len__(self):
+        return self.max_entries

@@ -1,0 +1,13 @@
+"""XDP result codes (paper §3.3)."""
+
+XDP_DROP = 0
+XDP_PASS = 1
+XDP_TX = 2
+XDP_REDIRECT = 3
+
+RESULT_NAMES = {
+    XDP_DROP: "XDP_DROP",
+    XDP_PASS: "XDP_PASS",
+    XDP_TX: "XDP_TX",
+    XDP_REDIRECT: "XDP_REDIRECT",
+}

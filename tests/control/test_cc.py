@@ -1,0 +1,98 @@
+"""Congestion-control algorithms: DCTCP and TIMELY dynamics."""
+
+from repro.control.cc import Dctcp, Timely
+from repro.control.cc.base import CcStats
+
+
+def stats(acked=100_000, ecn=0, fretx=0, rtt=50):
+    return CcStats(acked, ecn, fretx, rtt)
+
+
+def test_dctcp_slow_start_doubles():
+    algo = Dctcp(init_rate_bps=1_000_000_000)
+    flow = algo.new_flow()
+    rate = algo.update(flow, stats())
+    assert rate == 2_000_000_000
+
+
+def test_dctcp_additive_increase_after_congestion():
+    algo = Dctcp(init_rate_bps=1_000_000_000, additive_bps=50_000_000)
+    flow = algo.new_flow()
+    flow.rate_bps = algo.update(flow, stats(ecn=50_000))  # leaves slow start
+    rate_after = algo.update(flow, stats())
+    assert rate_after == flow.rate_bps + 50_000_000
+
+
+def test_dctcp_ecn_fraction_reduces_rate():
+    algo = Dctcp(init_rate_bps=10_000_000_000)
+    flow = algo.new_flow()
+    before = flow.rate_bps
+    after = algo.update(flow, stats(acked=100_000, ecn=100_000))
+    assert after < before
+    assert flow.algo_state.alpha > 0
+
+
+def test_dctcp_alpha_ewma_converges():
+    algo = Dctcp(g=1 / 4)
+    flow = algo.new_flow()
+    for _ in range(30):
+        flow.rate_bps = algo.update(flow, stats(acked=1000, ecn=1000))
+    assert flow.algo_state.alpha > 0.98
+
+
+def test_dctcp_loss_halves():
+    algo = Dctcp(init_rate_bps=8_000_000_000)
+    flow = algo.new_flow()
+    after = algo.update(flow, stats(fretx=2))
+    assert after == 4_000_000_000
+
+
+def test_dctcp_respects_bounds():
+    algo = Dctcp(init_rate_bps=2_000_000, min_rate_bps=1_000_000, max_rate_bps=10_000_000)
+    flow = algo.new_flow()
+    for _ in range(20):
+        flow.rate_bps = algo.update(flow, stats(fretx=1))
+    assert flow.rate_bps == 1_000_000
+    flow2 = algo.new_flow()
+    for _ in range(20):
+        flow2.rate_bps = algo.update(flow2, stats())
+    assert flow2.rate_bps == 10_000_000
+
+
+def test_timely_additive_when_rtt_low():
+    algo = Timely(t_low_us=50, init_rate_bps=1_000_000_000, additive_bps=40_000_000)
+    flow = algo.new_flow()
+    algo.update(flow, stats(rtt=20))  # first sample primes prev_rtt
+    after = algo.update(flow, stats(rtt=20))
+    assert after == 1_040_000_000
+
+
+def test_timely_multiplicative_when_rtt_high():
+    algo = Timely(t_high_us=500, init_rate_bps=10_000_000_000)
+    flow = algo.new_flow()
+    algo.update(flow, stats(rtt=400))
+    after = algo.update(flow, stats(rtt=2_000))
+    assert after < 10_000_000_000
+
+
+def test_timely_gradient_response():
+    algo = Timely(init_rate_bps=5_000_000_000)
+    flow = algo.new_flow()
+    algo.update(flow, stats(rtt=100))
+    # Rising RTT within [t_low, t_high] -> positive gradient -> decrease.
+    falling = algo.update(flow, stats(rtt=220))
+    assert falling < 5_000_000_000
+
+
+def test_timely_no_rtt_no_change():
+    algo = Timely(init_rate_bps=3_000_000_000)
+    flow = algo.new_flow()
+    assert algo.update(flow, stats(rtt=0)) == 3_000_000_000
+
+
+def test_scheduler_rate_bypass_for_uncongested():
+    algo = Dctcp(init_rate_bps=40_000_000_000)
+    flow = algo.new_flow()
+    assert algo.scheduler_rate(flow) == 0  # bypass the rate limiter
+    flow.rate_bps = 1_000_000_000
+    assert algo.scheduler_rate(flow) == 1_000_000_000 // 8

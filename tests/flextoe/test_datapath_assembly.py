@@ -1,0 +1,147 @@
+"""Data-path assembly: FPC layout per configuration (paper Fig. 8),
+connection install/remove, and the NIC facade."""
+
+import pytest
+
+from repro.flextoe import FlexToeNic
+from repro.flextoe.config import PipelineConfig
+from repro.host.memory import HugepagePool
+from repro.libtoe.buffers import CircularBuffer
+from repro.sim import Simulator
+
+
+def make_nic(config=None):
+    return FlexToeNic(Simulator(), config=config or PipelineConfig.full())
+
+
+def test_full_config_fpc_layout():
+    nic = make_nic()
+    chip = nic.chip
+    # 4 protocol islands x (1 proto + 4 pre + 4 post) = 36 FPCs,
+    # service island: 4 DMA + NBI + CTX + SCH = 7. 60 - 43 = 17 free.
+    assert chip.total_fpcs() - chip.free_fpcs() == 43
+    # Each protocol island retains >= 3 free FPCs for extension modules.
+    for island in chip.islands[:4]:
+        assert island.free_fpcs >= 3
+    dp = nic.datapath
+    assert len(dp.protocol_stages) == 4
+    assert len(dp.pre_stages) == 16
+    assert len(dp.post_stages) == 16
+    assert dp.serial_lock is None
+
+
+def test_single_flow_group_layout():
+    nic = make_nic(PipelineConfig.with_intra_fpc_parallelism())
+    dp = nic.datapath
+    assert len(dp.protocol_stages) == 1
+    assert len(dp.pre_stages) == 1
+    assert len(dp.post_stages) == 1
+
+
+def test_run_to_completion_layout():
+    nic = make_nic(PipelineConfig.baseline_run_to_completion())
+    dp = nic.datapath
+    assert dp.serial_lock is not None
+    assert len(dp.protocol_stages) == 1
+    # Everything fits in one island plus nothing else claimed.
+    assert nic.chip.islands[0].free_fpcs == 12 - 4
+
+
+def test_agilio_lx_has_headroom():
+    from repro.nfp import Nfp4000, NfpConfig
+
+    sim = Simulator()
+    nic = FlexToeNic(sim, chip=Nfp4000(sim, NfpConfig.agilio_lx()))
+    assert nic.chip.free_fpcs() >= 70  # LX doubles the islands
+
+
+def _buffers():
+    pool = HugepagePool(n_pages=1)
+    rx = CircularBuffer(pool.alloc(4096))
+    tx = CircularBuffer(pool.alloc(4096))
+    return rx.as_triple(), tx.as_triple()
+
+
+def offload(nic, index=None, port=5000):
+    index = index if index is not None else nic.allocate_connection_index()
+    rx, tx = _buffers()
+    return nic.offload_connection(
+        index=index,
+        four_tuple=(0x0A000001, 0x0A000002, port, 6000),
+        peer_mac=0xBB,
+        local_mac=0xAA,
+        iss=1000,
+        irs=2000,
+        context_id=1,
+        opaque=index,
+        rx_buffer=rx,
+        tx_buffer=tx,
+    )
+
+
+def test_offload_installs_lookup_and_state():
+    nic = make_nic()
+    record = offload(nic)
+    found, index, _ = nic.datapath.lookup_engine.lookup(record.four_tuple)
+    assert found and index == record.index
+    assert nic.connection(record.index) is record
+    assert record.proto.seq == 1000
+    assert record.proto.ack == 2000
+    assert record.pre.flow_group == nic.config.flow_group_of(record.four_tuple)
+
+
+def test_remove_connection_cleans_everything():
+    nic = make_nic()
+    record = offload(nic)
+    nic.set_flow_rate(record.index, 1_000_000)
+    removed = nic.remove_connection(record.index)
+    assert removed is record
+    assert not record.active
+    found, _, _ = nic.datapath.lookup_engine.lookup(record.four_tuple)
+    assert not found
+    assert nic.connection(record.index) is None
+    assert record.index not in nic.scheduler._flows
+
+
+def test_connection_index_reuse():
+    nic = make_nic()
+    record = offload(nic)
+    first_index = record.index
+    nic.remove_connection(first_index)
+    assert nic.allocate_connection_index() == first_index
+
+
+def test_duplicate_index_rejected():
+    nic = make_nic()
+    record = offload(nic, index=7)
+    with pytest.raises(ValueError):
+        offload(nic, index=7, port=5001)
+
+
+def test_cc_stats_read_and_reset():
+    nic = make_nic()
+    record = offload(nic)
+    record.post.cnt_ackb = 1000
+    record.post.cnt_ecnb = 100
+    record.post.cnt_fretx = 2
+    record.post.rtt_est = 55
+    stats = nic.read_cc_stats(record.index)
+    assert stats == (1000, 100, 2, 55)
+    assert nic.read_cc_stats(record.index) == (0, 0, 0, 55)
+    assert nic.read_cc_stats(9999) is None
+
+
+def test_state_partition_sizes_match_table5():
+    from repro.flextoe.state import (
+        PostprocState,
+        PreprocState,
+        ProtocolState,
+        TOTAL_STATE_BYTES,
+    )
+
+    assert PreprocState.SIZE_BYTES == 15
+    assert ProtocolState.SIZE_BYTES == 43
+    assert PostprocState.SIZE_BYTES == 51
+    # The paper reports 108 B aggregate; its partition sizes sum to 109
+    # (flow_group is 2 bits, rounded into the 15 B pre-processor part).
+    assert TOTAL_STATE_BYTES in (108, 109)

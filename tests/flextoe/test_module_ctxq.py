@@ -1,0 +1,114 @@
+"""Module API/chains and context-queue pair behavior."""
+
+import pytest
+
+from repro.flextoe.ctxq import ContextQueuePair
+from repro.flextoe.descriptors import HC_TX_UPDATE, HostControlDescriptor, Notification, NOTIFY_RX
+from repro.flextoe.module import (
+    ACTION_DROP,
+    ACTION_PASS,
+    CountingModule,
+    ModuleChain,
+    NullModule,
+    VlanStripModule,
+)
+from repro.proto import FLAG_ACK, make_tcp_frame
+from repro.sim import Simulator
+
+
+def frame(vlan=None):
+    f = make_tcp_frame(1, 2, 3, 4, 5, 6, flags=FLAG_ACK)
+    if vlan is not None:
+        f.eth.vlan = vlan
+    return f
+
+
+def test_null_module_passes():
+    assert NullModule().handle(frame(), None) == ACTION_PASS
+
+
+def test_counting_module_counts_by_flags():
+    counter = CountingModule()
+    counter.handle(frame(), None)
+    counter.handle(frame(), None)
+    assert counter.counts[FLAG_ACK] == 2
+    counter.reset()
+    assert not counter.counts
+
+
+def test_vlan_strip_module():
+    strip = VlanStripModule()
+    f = frame(vlan=7)
+    strip.handle(f, None)
+    assert f.eth.vlan is None
+    assert strip.stripped == 1
+
+
+def test_chain_cost_and_management():
+    chain = ModuleChain([NullModule(), CountingModule()])
+    assert chain.total_cost == NullModule.cost_cycles + CountingModule.cost_cycles
+    assert len(chain) == 2
+    chain.remove("null")
+    assert len(chain) == 1
+    chain.add(VlanStripModule())
+    assert len(chain) == 2
+
+
+def test_chain_short_circuits():
+    class Dropper(NullModule):
+        name = "drop"
+
+        def handle(self, frame, meta):
+            return ACTION_DROP
+
+    counter = CountingModule()
+    chain = ModuleChain([Dropper(), counter])
+    assert chain.run(frame(), None) == ACTION_DROP
+    assert not counter.counts
+
+
+def test_ctxq_post_and_fetch():
+    sim = Simulator()
+    pair = ContextQueuePair(sim, context_id=1, capacity=4)
+    for i in range(3):
+        assert pair.post_hc(HostControlDescriptor(HC_TX_UPDATE, i, value=10))
+    assert pair.hc_posted == 3
+    batch = pair.nic_fetch_batch(max_batch=2)
+    assert [d.conn_index for d in batch] == [0, 1]
+    assert pair.has_outbound
+
+
+def test_ctxq_capacity_overflow():
+    sim = Simulator()
+    pair = ContextQueuePair(sim, context_id=1, capacity=1)
+    assert pair.post_hc(HostControlDescriptor(HC_TX_UPDATE, 0))
+    assert not pair.post_hc(HostControlDescriptor(HC_TX_UPDATE, 1))
+
+
+def test_ctxq_deliver_wakes_waiters():
+    sim = Simulator()
+    pair = ContextQueuePair(sim, context_id=1)
+    woke = []
+
+    def sleeper(sim, name):
+        yield pair.wait()
+        woke.append(name)
+
+    sim.process(sleeper(sim, "a"))
+    sim.process(sleeper(sim, "b"))
+    sim.run()
+    assert not woke
+    pair.nic_deliver(Notification(NOTIFY_RX, 0, 0, length=10))
+    sim.run()
+    assert sorted(woke) == ["a", "b"]
+    assert pair.interrupts == 1  # one MSI-X for the batch of sleepers
+
+
+def test_ctxq_wait_with_pending_returns_immediately():
+    sim = Simulator()
+    pair = ContextQueuePair(sim, context_id=1)
+    pair.nic_deliver(Notification(NOTIFY_RX, 0, 0, length=1))
+    event = pair.wait()
+    assert event.triggered
+    assert pair.poll() is not None
+    assert pair.poll() is None

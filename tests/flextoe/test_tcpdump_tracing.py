@@ -1,0 +1,121 @@
+"""tcpdump capture (filters, pcap format) and tracepoints."""
+
+import struct
+
+from repro.flextoe.tcpdump import CAPTURE_COST_CYCLES, FILTER_COST_CYCLES, PacketCapture, PacketFilter
+from repro.flextoe.tracing import TRACEPOINTS, TracepointRegistry
+from repro.proto import FLAG_ACK, FLAG_SYN, make_tcp_frame, str_to_ip
+
+SRC = str_to_ip("10.0.0.1")
+DST = str_to_ip("10.0.0.2")
+
+
+def frame(flags=FLAG_ACK, sport=1000, dport=2000, payload=b"abc"):
+    return make_tcp_frame(0xA, 0xB, SRC, DST, sport, dport, flags=flags, payload=payload)
+
+
+def test_filter_matches_fields():
+    f = PacketFilter(src_ip=SRC, dport=2000)
+    assert f.matches(frame())
+    assert not f.matches(frame(dport=2001))
+    f2 = PacketFilter(tcp_flags_any=FLAG_SYN)
+    assert f2.matches(frame(flags=FLAG_SYN))
+    assert not f2.matches(frame(flags=FLAG_ACK))
+
+
+def test_capture_records_and_costs():
+    capture = PacketCapture(snaplen=64)
+    assert capture.cost_cycles(frame()) == CAPTURE_COST_CYCLES
+    assert capture.capture(1000, "rx", frame())
+    assert len(capture) == 1
+    now, direction, orig_len, wire = capture.records[0]
+    assert direction == "rx"
+    assert len(wire) <= 64
+    assert orig_len == frame().wire_len
+
+
+def test_filtered_capture_costs_less_for_misses():
+    capture = PacketCapture(packet_filter=PacketFilter(dport=9999))
+    assert capture.cost_cycles(frame()) == FILTER_COST_CYCLES
+    assert not capture.capture(0, "rx", frame())
+    assert len(capture) == 0
+
+
+def test_capture_limit():
+    capture = PacketCapture(limit=2)
+    for _ in range(4):
+        capture.capture(0, "rx", frame())
+    assert len(capture) == 2
+    assert capture.truncated_drops == 2
+    assert capture.matched == 4
+
+
+def test_pcap_file_format(tmp_path):
+    capture = PacketCapture(snaplen=128)
+    capture.capture(1_500_000_000, "rx", frame())
+    capture.capture(2_000_000_123, "tx", frame(flags=FLAG_SYN))
+    path = tmp_path / "trace.pcap"
+    capture.write_pcap(str(path))
+    data = path.read_bytes()
+    magic, major, minor = struct.unpack_from("!IHH", data, 0)
+    assert magic == 0xA1B2C3D4
+    assert (major, minor) == (2, 4)
+    # First record header: ts_sec = 1.
+    ts_sec, ts_usec, incl, orig = struct.unpack_from("!IIII", data, 24)
+    assert ts_sec == 1
+    assert incl <= 128
+
+
+def test_pcap_write_read_roundtrip(tmp_path):
+    from repro.flextoe.tcpdump import read_pcap
+    from repro.proto import Frame
+
+    capture = PacketCapture(snaplen=2048)
+    f1, f2 = frame(payload=b"first"), frame(flags=FLAG_SYN, payload=b"")
+    capture.capture(3_000_000_500, "rx", f1)
+    capture.capture(4_000_001_000, "tx", f2)
+    path = tmp_path / "roundtrip.pcap"
+    capture.write_pcap(str(path))
+    records = read_pcap(str(path))
+    assert len(records) == 2
+    ts, wire, orig = records[0]
+    assert ts == 3_000_000_000  # microsecond pcap resolution
+    assert orig == f1.wire_len
+    parsed = Frame.unpack(wire)
+    assert parsed.payload == b"first"
+    assert parsed.tcp.sport == 1000
+
+
+def test_read_pcap_rejects_garbage(tmp_path):
+    import pytest
+
+    from repro.flextoe.tcpdump import read_pcap
+
+    path = tmp_path / "bad.pcap"
+    path.write_bytes(b"\x00" * 24)
+    with pytest.raises(ValueError):
+        read_pcap(str(path))
+
+
+def test_tracepoint_costs_only_when_enabled():
+    registry = TracepointRegistry(enabled=False)
+    assert registry.hit(0, "proto", "rx.segment") == 0
+    registry.enable_all()
+    cost = registry.hit(1, "proto", "rx.segment")
+    assert cost == TRACEPOINTS["rx.segment"]
+    assert registry.count("rx.segment") == 1
+    registry.disable_all()
+    assert registry.hit(2, "proto", "rx.segment") == 0
+
+
+def test_tracepoint_selective_enable():
+    registry = TracepointRegistry()
+    registry.enable(["rx.out_of_order"])
+    assert registry.cost("rx.out_of_order") > 0
+    assert registry.cost("rx.segment") == 0
+
+
+def test_tracepoint_catalog_size():
+    # The paper implements up to 48 tracepoints; the catalog holds the
+    # documented set and is extensible.
+    assert 25 <= len(TRACEPOINTS) <= 48

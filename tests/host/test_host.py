@@ -1,0 +1,116 @@
+"""Host CPU accounting, hugepage pool, machine assembly."""
+
+import pytest
+
+from repro.host import CAT_APP, CAT_SOCKETS, CAT_TCP, CpuCore, CycleAccounting, HostMemory, Machine
+from repro.host.memory import HUGEPAGE_SIZE, HugepagePool
+from repro.sim import Simulator
+
+
+def test_core_charges_categories():
+    sim = Simulator()
+    core = CpuCore(sim, "c0")
+
+    def work(sim):
+        yield from core.run(2000, CAT_APP)  # 1 us at 2 GHz
+        yield from core.run(1000, CAT_TCP)
+
+    sim.process(work(sim))
+    sim.run()
+    assert sim.now == 1500
+    assert core.accounting.cycles[CAT_APP] == 2000
+    assert core.accounting.cycles[CAT_TCP] == 1000
+    assert core.accounting.total() == 3000
+
+
+def test_core_serializes_two_threads():
+    sim = Simulator()
+    core = CpuCore(sim, "c0")
+    finish = []
+
+    def work(sim):
+        yield from core.run(2000, CAT_APP)
+        finish.append(sim.now)
+
+    sim.process(work(sim))
+    sim.process(work(sim))
+    sim.run()
+    assert finish == [1000, 2000]
+
+
+def test_accounting_breakdown_percentages():
+    acct = CycleAccounting()
+    acct.charge(CAT_APP, 750)
+    acct.charge(CAT_SOCKETS, 250)
+    breakdown = acct.breakdown()
+    assert breakdown[CAT_APP] == (750, 75.0)
+    assert breakdown[CAT_SOCKETS] == (250, 25.0)
+
+
+def test_accounting_merge():
+    a = CycleAccounting()
+    b = CycleAccounting()
+    a.charge(CAT_APP, 10)
+    b.charge(CAT_APP, 5)
+    b.charge("custom", 3)
+    a.merge(b)
+    assert a.cycles[CAT_APP] == 15
+    assert a.cycles["custom"] == 3
+
+
+def test_hugepage_alloc_alignment_and_exhaustion():
+    pool = HugepagePool(n_pages=1)
+    region = pool.alloc(100, align=64)
+    assert region.addr % 64 == 0
+    region2 = pool.alloc(100, align=64)
+    assert region2.addr == region.addr + 128  # 100 rounded up to 128
+    with pytest.raises(MemoryError):
+        pool.alloc(HUGEPAGE_SIZE)
+
+
+def test_region_read_write_bounds():
+    mem = HostMemory()
+    region = mem.alloc(64)
+    region.write(0, b"hello")
+    assert region.read(0, 5) == b"hello"
+    with pytest.raises(IndexError):
+        region.write(60, b"toolong")
+    with pytest.raises(IndexError):
+        region.read(60, 10)
+
+
+def test_region_lookup_by_address():
+    mem = HostMemory()
+    region = mem.alloc(128)
+    found, offset = mem.region_at(region.addr + 32)
+    assert found is region
+    assert offset == 32
+    with pytest.raises(KeyError):
+        mem.region_at(0xDEAD)
+
+
+def test_machine_aggregate_accounting():
+    sim = Simulator()
+    machine = Machine(sim, "srv", n_cores=2)
+
+    def work(sim, core):
+        yield from core.run(100, CAT_APP)
+
+    sim.process(work(sim, machine.cores[0]))
+    sim.process(work(sim, machine.cores[1]))
+    sim.run()
+    assert machine.aggregate_accounting().cycles[CAT_APP] == 200
+
+
+def test_core_block_returns_value():
+    sim = Simulator()
+    core = CpuCore(sim, "c0")
+    out = []
+
+    def work(sim):
+        value = yield from core.block(sim.timeout(500, value="io"))
+        out.append((sim.now, value))
+
+    sim.process(work(sim))
+    sim.run()
+    assert out == [(500, "io")]

@@ -1,0 +1,95 @@
+"""Link serialization/propagation timing and port accounting."""
+
+import pytest
+
+from repro.net import Link, Port
+from repro.net.link import wire_time_ns
+from repro.proto import make_tcp_frame
+
+
+def make_frame(payload=b"x" * 100):
+    return make_tcp_frame(1, 2, 0x0A000001, 0x0A000002, 10, 20, payload=payload)
+
+
+def test_wire_time_includes_overhead_and_min_frame():
+    # 64B minimum + 24B overhead at 1 Gbps = 88 * 8 ns
+    assert wire_time_ns(1_000_000_000, 1) == 88 * 8
+    assert wire_time_ns(1_000_000_000, 64) == 88 * 8
+    # 1500B frame + overhead
+    assert wire_time_ns(1_000_000_000, 1500) == 1524 * 8
+
+
+def test_delivery_time_is_serialization_plus_propagation():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    a = Port(sim, "a")
+    b = Port(sim, "b")
+    Link(sim, a, b, rate_bps=1_000_000_000, prop_delay_ns=1000)
+    arrivals = []
+    b.receiver = lambda frame: arrivals.append(sim.now)
+    frame = make_frame(payload=b"")
+    a.send(frame)
+    sim.run()
+    expected = wire_time_ns(1_000_000_000, frame.wire_len) + 1000
+    assert arrivals == [expected]
+
+
+def test_back_to_back_frames_serialize_sequentially():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    a = Port(sim, "a")
+    b = Port(sim, "b")
+    Link(sim, a, b, rate_bps=1_000_000_000, prop_delay_ns=0)
+    arrivals = []
+    b.receiver = lambda frame: arrivals.append(sim.now)
+    frame = make_frame(payload=b"")
+    ser = wire_time_ns(1_000_000_000, frame.wire_len)
+    a.send(frame)
+    a.send(make_frame(payload=b""))
+    sim.run()
+    assert arrivals == [ser, 2 * ser]
+
+
+def test_directions_are_independent():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    a = Port(sim, "a")
+    b = Port(sim, "b")
+    Link(sim, a, b, rate_bps=1_000_000_000, prop_delay_ns=0)
+    a_arrivals = []
+    b_arrivals = []
+    a.receiver = lambda frame: a_arrivals.append(sim.now)
+    b.receiver = lambda frame: b_arrivals.append(sim.now)
+    a.send(make_frame(payload=b""))
+    b.send(make_frame(payload=b""))
+    sim.run()
+    # Full duplex: both arrive at one serialization time.
+    assert a_arrivals == b_arrivals
+
+
+def test_port_counters():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    a = Port(sim, "a")
+    b = Port(sim, "b")
+    Link(sim, a, b, rate_bps=1_000_000_000, prop_delay_ns=0)
+    b.receiver = lambda frame: None
+    frame = make_frame()
+    a.send(frame)
+    sim.run()
+    assert a.tx_frames == 1
+    assert a.tx_bytes == frame.wire_len
+    assert b.rx_frames == 1
+    assert b.rx_bytes == frame.wire_len
+
+
+def test_unconnected_port_send_raises():
+    from repro.sim import Simulator
+
+    port = Port(Simulator(), "lonely")
+    with pytest.raises(RuntimeError):
+        port.send(make_frame())

@@ -1,0 +1,178 @@
+"""Header pack/unpack round trips for Ethernet, IPv4, TCP, and ARP."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.proto import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    ArpHeader,
+    EthernetHeader,
+    FLAG_ACK,
+    FLAG_SYN,
+    Ipv4Header,
+    TcpHeader,
+    TcpOptions,
+    checksum16,
+    ip_to_str,
+    mac_to_str,
+    str_to_ip,
+    str_to_mac,
+)
+
+macs = st.integers(min_value=0, max_value=(1 << 48) - 1)
+ips = st.integers(min_value=0, max_value=(1 << 32) - 1)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+seqs = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def test_mac_string_roundtrip():
+    assert mac_to_str(str_to_mac("aa:bb:cc:dd:ee:ff")) == "aa:bb:cc:dd:ee:ff"
+    assert str_to_mac("00:00:00:00:00:01") == 1
+
+
+def test_ip_string_roundtrip():
+    assert ip_to_str(str_to_ip("10.0.0.1")) == "10.0.0.1"
+    assert str_to_ip("255.255.255.255") == 0xFFFFFFFF
+
+
+def test_bad_addresses_rejected():
+    with pytest.raises(ValueError):
+        str_to_mac("aa:bb")
+    with pytest.raises(ValueError):
+        str_to_ip("1.2.3")
+    with pytest.raises(ValueError):
+        str_to_ip("1.2.3.999")
+
+
+@given(macs, macs)
+def test_ethernet_roundtrip(dst, src):
+    header = EthernetHeader(dst=dst, src=src, ethertype=ETHERTYPE_IPV4)
+    parsed, consumed = EthernetHeader.unpack(header.pack())
+    assert consumed == 14
+    assert parsed == header
+
+
+@given(macs, macs, st.integers(min_value=0, max_value=0xFFF), st.integers(min_value=0, max_value=7))
+def test_ethernet_vlan_roundtrip(dst, src, vlan, pcp):
+    header = EthernetHeader(dst=dst, src=src, ethertype=ETHERTYPE_IPV4, vlan=vlan, vlan_pcp=pcp)
+    parsed, consumed = EthernetHeader.unpack(header.pack())
+    assert consumed == 18
+    assert parsed == header
+    assert parsed.wire_len == 18
+
+
+def test_ethernet_truncated_rejected():
+    with pytest.raises(ValueError):
+        EthernetHeader.unpack(b"\x00" * 10)
+
+
+@given(ips, ips, st.integers(min_value=20, max_value=1500), st.integers(min_value=0, max_value=3))
+def test_ipv4_roundtrip(src, dst, total_len, ecn):
+    header = Ipv4Header(src=src, dst=dst, total_len=total_len, ecn=ecn, ident=7, ttl=17)
+    parsed, consumed = Ipv4Header.unpack(header.pack(), verify_checksum=True)
+    assert consumed == 20
+    assert (parsed.src, parsed.dst, parsed.total_len, parsed.ecn) == (src, dst, total_len, ecn)
+    assert parsed.ident == 7
+    assert parsed.ttl == 17
+
+
+def test_ipv4_checksum_valid_on_wire():
+    header = Ipv4Header(src=1, dst=2, total_len=40)
+    assert checksum16(header.pack()) == 0
+
+
+def test_ipv4_corrupt_checksum_detected():
+    raw = bytearray(Ipv4Header(src=1, dst=2, total_len=40).pack())
+    raw[10] ^= 0xFF
+    with pytest.raises(ValueError):
+        Ipv4Header.unpack(bytes(raw), verify_checksum=True)
+
+
+def test_ipv4_ce_marking():
+    header = Ipv4Header(src=1, dst=2, ecn=0b10)
+    assert header.mark_ce()
+    assert header.ce_marked
+    not_ect = Ipv4Header(src=1, dst=2, ecn=0b00)
+    assert not not_ect.mark_ce()
+    assert not not_ect.ce_marked
+
+
+@given(ports, ports, seqs, seqs, st.integers(min_value=0, max_value=0xFF))
+def test_tcp_roundtrip_no_options(sport, dport, seq, ack, flags):
+    header = TcpHeader(sport=sport, dport=dport, seq=seq, ack=ack, flags=flags, window=1024)
+    parsed, consumed = TcpHeader.unpack(header.pack())
+    assert consumed == 20
+    assert (parsed.sport, parsed.dport, parsed.seq, parsed.ack) == (sport, dport, seq, ack)
+    assert parsed.flags == flags
+    assert parsed.window == 1024
+
+
+@given(
+    st.integers(min_value=536, max_value=9000),
+    st.integers(min_value=0, max_value=14),
+    seqs,
+    seqs,
+)
+def test_tcp_options_roundtrip(mss, wscale, ts_val, ts_ecr):
+    options = TcpOptions(mss=mss, wscale=wscale, ts_val=ts_val, ts_ecr=ts_ecr, sack_permitted=True)
+    header = TcpHeader(1, 2, flags=FLAG_SYN, options=options)
+    parsed, _ = TcpHeader.unpack(header.pack())
+    assert parsed.options.mss == mss
+    assert parsed.options.wscale == wscale
+    assert parsed.options.ts_val == ts_val
+    assert parsed.options.ts_ecr == ts_ecr
+    assert parsed.options.sack_permitted
+
+
+@given(st.lists(st.tuples(seqs, seqs), min_size=1, max_size=4))
+def test_tcp_sack_blocks_roundtrip(blocks):
+    options = TcpOptions(sack_blocks=blocks)
+    header = TcpHeader(1, 2, flags=FLAG_ACK, options=options)
+    parsed, _ = TcpHeader.unpack(header.pack())
+    assert parsed.options.sack_blocks == blocks
+
+
+def test_tcp_options_wire_len_is_padded():
+    options = TcpOptions(wscale=7)  # 3 raw bytes -> padded to 4
+    assert options.wire_len == 4
+    assert len(options.pack()) == 4
+
+
+def test_tcp_data_path_classification():
+    from repro.proto import FLAG_FIN, FLAG_PSH, FLAG_RST
+
+    assert TcpHeader(1, 2, flags=FLAG_ACK).is_data_path
+    assert TcpHeader(1, 2, flags=FLAG_ACK | FLAG_PSH | FLAG_FIN).is_data_path
+    assert not TcpHeader(1, 2, flags=FLAG_SYN).is_data_path
+    assert not TcpHeader(1, 2, flags=FLAG_RST | FLAG_ACK).is_data_path
+
+
+def test_tcp_checksum_with_pseudo_header():
+    ip = Ipv4Header(src=str_to_ip("10.0.0.1"), dst=str_to_ip("10.0.0.2"))
+    tcp = TcpHeader(1000, 2000, seq=1, ack=2, flags=FLAG_ACK)
+    payload = b"hello world"
+    pseudo = ip.pseudo_header(tcp.wire_len + len(payload))
+    wire = tcp.pack(pseudo_header=pseudo, payload=payload)
+    # Recomputing over pseudo-header + segment must give zero.
+    assert checksum16(pseudo + wire + payload) == 0
+
+
+def test_arp_request_reply_roundtrip():
+    request = ArpHeader.request(sender_mac=0xAA, sender_ip=0x0A000001, target_ip=0x0A000002)
+    parsed, consumed = ArpHeader.unpack(request.pack())
+    assert consumed == request.wire_len
+    assert parsed.op == 1
+    assert parsed.target_ip == 0x0A000002
+    reply = parsed.reply(responder_mac=0xBB)
+    assert reply.op == 2
+    assert reply.sender_mac == 0xBB
+    assert reply.target_mac == 0xAA
+    assert reply.sender_ip == 0x0A000002
+    assert reply.target_ip == 0x0A000001
+
+
+def test_ethertype_constants():
+    assert ETHERTYPE_ARP == 0x0806
+    assert ETHERTYPE_IPV4 == 0x0800

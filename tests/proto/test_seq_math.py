@@ -1,0 +1,49 @@
+"""Sequence-number arithmetic (mod 2^32) properties."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.proto import seq_add, seq_after, seq_between, seq_diff, seq_lt, seq_lte
+
+seqs = st.integers(min_value=0, max_value=0xFFFFFFFF)
+small = st.integers(min_value=0, max_value=(1 << 30) - 1)
+
+
+def test_wraparound_comparison():
+    near_top = 0xFFFFFF00
+    wrapped = 0x00000100
+    assert seq_lt(near_top, wrapped)
+    assert seq_after(wrapped, near_top)
+    assert seq_diff(wrapped, near_top) == 0x200
+
+
+@given(seqs, small)
+def test_add_then_diff_inverts(seq, delta):
+    assert seq_diff(seq_add(seq, delta), seq) == delta
+
+
+@given(seqs, small)
+def test_lt_consistent_with_diff(seq, delta):
+    other = seq_add(seq, delta)
+    if delta == 0:
+        assert not seq_lt(seq, other)
+        assert seq_lte(seq, other)
+    else:
+        assert seq_lt(seq, other)
+        assert not seq_lt(other, seq)
+
+
+@given(seqs, small, small)
+def test_between_window(base, offset, width):
+    high = seq_add(base, width)
+    value = seq_add(base, offset)
+    inside = offset < width
+    assert seq_between(base, value, high) == inside
+
+
+@given(seqs)
+def test_reflexive(seq):
+    assert seq_diff(seq, seq) == 0
+    assert seq_lte(seq, seq)
+    assert not seq_lt(seq, seq)
+    assert not seq_after(seq, seq)

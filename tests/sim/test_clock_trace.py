@@ -1,0 +1,79 @@
+"""Unit tests for clock conversion, tracing, and RNG pools."""
+
+import pytest
+
+from repro.sim import CYCLES_2GHZ, CYCLES_800MHZ, Clock, RngPool, TraceRecorder, ns_to_us, us_to_ns
+
+
+def test_800mhz_cycle_duration():
+    # 1 cycle at 800 MHz = 1.25 ns -> rounds up to 2 ns per single cycle,
+    # but 8 cycles = exactly 10 ns.
+    assert CYCLES_800MHZ.cycles_to_ns(8) == 10
+    assert CYCLES_800MHZ.cycles_to_ns(800) == 1000
+
+
+def test_2ghz_cycle_duration():
+    assert CYCLES_2GHZ.cycles_to_ns(2) == 1
+    assert CYCLES_2GHZ.cycles_to_ns(2000) == 1000
+
+
+def test_rounding_never_optimistic():
+    clock = Clock(3_000_000_000)  # 1 cycle = 0.333.. ns
+    assert clock.cycles_to_ns(1) == 1
+    assert clock.cycles_to_ns(3) == 1
+    assert clock.cycles_to_ns(4) == 2
+
+
+def test_ns_to_cycles_inverse():
+    assert CYCLES_800MHZ.ns_to_cycles(1000) == 800
+    assert CYCLES_2GHZ.ns_to_cycles(1000) == 2000
+
+
+def test_invalid_frequency_rejected():
+    with pytest.raises(ValueError):
+        Clock(0)
+
+
+def test_us_ns_roundtrip():
+    assert us_to_ns(1.5) == 1500
+    assert ns_to_us(2500) == 2.5
+
+
+def test_trace_disabled_records_nothing():
+    trace = TraceRecorder(enabled=False)
+    trace.emit(0, "stage", "event")
+    assert len(trace) == 0
+
+
+def test_trace_filter_and_count():
+    trace = TraceRecorder(enabled=True)
+    trace.emit(1, "proto", "win_update")
+    trace.emit(2, "proto", "ooo_drop")
+    trace.emit(3, "pre", "win_update")
+    assert trace.count(source="proto") == 2
+    assert trace.count(event="win_update") == 2
+    assert trace.count(source="pre", event="win_update") == 1
+
+
+def test_trace_limit_drops():
+    trace = TraceRecorder(enabled=True, limit=2)
+    for i in range(5):
+        trace.emit(i, "s", "e")
+    assert len(trace) == 2
+    assert trace.dropped == 3
+
+
+def test_rng_streams_independent_and_reproducible():
+    pool_a = RngPool(seed=7)
+    pool_b = RngPool(seed=7)
+    xs = [pool_a.stream("loss").random() for _ in range(5)]
+    ys = [pool_b.stream("loss").random() for _ in range(5)]
+    assert xs == ys
+    zs = [pool_a.stream("workload").random() for _ in range(5)]
+    assert xs != zs
+
+
+def test_rng_different_seeds_differ():
+    a = RngPool(seed=1).stream("x").random()
+    b = RngPool(seed=2).stream("x").random()
+    assert a != b

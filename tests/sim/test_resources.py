@@ -1,0 +1,208 @@
+"""Unit tests for stores, priority stores, and resources."""
+
+import pytest
+
+from repro.sim import PriorityStore, Resource, Simulator, Store
+from repro.sim.core import SimulationError
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    seen = []
+
+    def producer(sim):
+        for i in range(5):
+            yield store.put(i)
+            yield sim.timeout(1)
+
+    def consumer(sim):
+        for _ in range(5):
+            item = yield store.get()
+            seen.append(item)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    log = []
+
+    def consumer(sim):
+        item = yield store.get()
+        log.append((sim.now, item))
+
+    def producer(sim):
+        yield sim.timeout(25)
+        yield store.put("x")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert log == [(25, "x")]
+
+
+def test_bounded_store_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    log = []
+
+    def producer(sim):
+        for i in range(4):
+            yield store.put(i)
+            log.append(("put", i, sim.now))
+
+    def consumer(sim):
+        yield sim.timeout(10)
+        for _ in range(4):
+            yield store.get()
+            yield sim.timeout(10)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    # First two puts complete at t=0; the rest wait for consumer drains.
+    assert log[0][2] == 0
+    assert log[1][2] == 0
+    assert log[2][2] == 10
+    assert log[3][2] == 20
+
+
+def test_store_try_put_try_get():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    assert store.try_put("a")
+    assert not store.try_put("b")
+    ok, item = store.try_get()
+    assert ok and item == "a"
+    ok, item = store.try_get()
+    assert not ok and item is None
+
+
+def test_store_try_get_unblocks_waiting_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    done = []
+
+    def producer(sim):
+        yield store.put(1)
+        yield store.put(2)
+        done.append(sim.now)
+
+    sim.process(producer(sim))
+    sim.run()
+    assert not done  # second put blocked
+    ok, item = store.try_get()
+    assert ok and item == 1
+    sim.run()
+    assert done  # unblocked by the try_get
+
+
+def test_store_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)
+
+
+def test_store_tracks_max_occupancy():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(7):
+        store.try_put(i)
+    for _ in range(3):
+        store.try_get()
+    assert store.max_occupancy == 7
+
+
+def test_priority_store_orders_items():
+    sim = Simulator()
+    store = PriorityStore(sim)
+    got = []
+
+    def producer(sim):
+        for priority in [5, 1, 3, 2, 4]:
+            yield store.put((priority, "item%d" % priority))
+
+    def consumer(sim):
+        yield sim.timeout(1)
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item[0])
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == [1, 2, 3, 4, 5]
+
+
+def test_resource_mutual_exclusion():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    timeline = []
+
+    def worker(sim, name, hold):
+        grant = yield resource.request()
+        timeline.append((name, "acquired", sim.now))
+        yield sim.timeout(hold)
+        grant.release()
+        timeline.append((name, "released", sim.now))
+
+    sim.process(worker(sim, "a", 10))
+    sim.process(worker(sim, "b", 10))
+    sim.run()
+    assert timeline == [
+        ("a", "acquired", 0),
+        ("a", "released", 10),
+        ("b", "acquired", 10),
+        ("b", "released", 20),
+    ]
+
+
+def test_resource_capacity_two_overlaps():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    acquired_at = []
+
+    def worker(sim):
+        grant = yield resource.request()
+        acquired_at.append(sim.now)
+        yield sim.timeout(10)
+        grant.release()
+
+    for _ in range(4):
+        sim.process(worker(sim))
+    sim.run()
+    assert acquired_at == [0, 0, 10, 10]
+
+
+def test_resource_context_manager_releases():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+
+    def worker(sim):
+        with (yield resource.request()):
+            yield sim.timeout(5)
+
+    sim.process(worker(sim))
+    sim.process(worker(sim))
+    sim.run()
+    assert sim.now == 10
+    assert resource.in_use == 0
+
+
+def test_resource_double_release_rejected():
+    sim = Simulator()
+    resource = Resource(sim)
+
+    def worker(sim):
+        grant = yield resource.request()
+        grant.release()
+        with pytest.raises(SimulationError):
+            grant.release()
+
+    sim.process(worker(sim))
+    sim.run()

@@ -1,0 +1,175 @@
+"""Builtin XDP modules: firewall (both flavors), classifier, vlan,
+null, and connection splicing — standalone and on a live NIC."""
+
+import struct
+
+import pytest
+
+from repro.flextoe.module import ACTION_DROP, ACTION_PASS, ACTION_REDIRECT, ACTION_TX, ModuleChain
+from repro.proto import FLAG_ACK, FLAG_FIN, make_tcp_frame, str_to_ip
+from repro.xdp import XdpAdapter
+from repro.xdp.builtins import (
+    FirewallProgram,
+    FlowClassifierProgram,
+    NullProgram,
+    SpliceEntry,
+    SpliceProgram,
+    VlanStripProgram,
+    classifier_asm_program,
+    firewall_asm_program,
+    null_asm_program,
+    splice_key,
+)
+from repro.xdp.builtins.firewall import BLACKLIST_FD, block_ip
+from repro.xdp.builtins.filter import COUNTERS_FD
+
+BAD_IP = str_to_ip("10.0.0.66")
+GOOD_IP = str_to_ip("10.0.0.1")
+DST_IP = str_to_ip("10.0.0.2")
+
+
+def frame_from(src_ip, sport=1000, dport=2000, flags=FLAG_ACK, payload=b"x" * 10, vlan=None):
+    frame = make_tcp_frame(0xA, 0xB, src_ip, DST_IP, sport, dport, flags=flags, payload=payload)
+    if vlan is not None:
+        frame.eth.vlan = vlan
+    return frame
+
+
+def test_python_firewall():
+    firewall = FirewallProgram()
+    firewall.block(BAD_IP)
+    adapter = XdpAdapter(py_program=firewall)
+    assert adapter.handle(frame_from(BAD_IP), None) == ACTION_DROP
+    assert adapter.handle(frame_from(GOOD_IP), None) == ACTION_PASS
+    firewall.unblock(BAD_IP)
+    assert adapter.handle(frame_from(BAD_IP), None) == ACTION_PASS
+    assert firewall.dropped == 1
+
+
+def test_asm_firewall_on_vm():
+    program, maps = firewall_asm_program()
+    adapter = XdpAdapter(program=program, maps=maps)
+    block_ip(maps[BLACKLIST_FD], BAD_IP)
+    assert adapter.handle(frame_from(BAD_IP), None) == ACTION_DROP
+    assert adapter.handle(frame_from(GOOD_IP), None) == ACTION_PASS
+    # Per-packet cost reflects executed instructions.
+    assert adapter.cost_cycles > 10
+
+
+def test_asm_classifier_counts_by_port():
+    program, maps = classifier_asm_program()
+    adapter = XdpAdapter(program=program, maps=maps)
+    for _ in range(3):
+        assert adapter.handle(frame_from(GOOD_IP, dport=2003), None) == ACTION_PASS
+    counters = maps[COUNTERS_FD]
+    slot = counters.lookup(struct.pack("<I", 2003 % 16))
+    packets, _ = struct.unpack("<QQ", bytes(slot))
+    assert packets == 3
+
+
+def test_python_classifier_counts_bytes():
+    classifier = FlowClassifierProgram()
+    adapter = XdpAdapter(py_program=classifier)
+    frame = frame_from(GOOD_IP, dport=5)
+    adapter.handle(frame, None)
+    packets, nbytes = classifier.read_class(5 % 16)
+    assert packets == 1
+    assert nbytes == frame.wire_len
+
+
+def test_classifier_deny_port():
+    classifier = FlowClassifierProgram(deny_port=31337)
+    adapter = XdpAdapter(py_program=classifier)
+    assert adapter.handle(frame_from(GOOD_IP, dport=31337), None) == ACTION_DROP
+
+
+def test_vlan_strip():
+    strip = VlanStripProgram()
+    adapter = XdpAdapter(py_program=strip)
+    frame = frame_from(GOOD_IP, vlan=42)
+    assert adapter.handle(frame, None) == ACTION_PASS
+    assert frame.eth.vlan is None
+    assert strip.stripped == 1
+
+
+def test_null_program_both_flavors():
+    assert XdpAdapter(py_program=NullProgram()).handle(frame_from(GOOD_IP), None) == ACTION_PASS
+    program, maps = null_asm_program()
+    assert XdpAdapter(program=program, maps=maps).handle(frame_from(GOOD_IP), None) == ACTION_PASS
+
+
+def test_splice_rewrites_and_tx():
+    splice = SpliceProgram()
+    key = splice_key(GOOD_IP, DST_IP, 1000, 2000)
+    entry = SpliceEntry(
+        remote_mac=0xCC,
+        remote_ip=str_to_ip("10.0.0.3"),
+        local_port=7777,
+        remote_port=8888,
+        seq_delta=1000,
+        ack_delta=2000,
+    )
+    splice.install(key, entry)
+    adapter = XdpAdapter(py_program=splice)
+    frame = frame_from(GOOD_IP, sport=1000, dport=2000)
+    frame.tcp.seq = 100
+    frame.tcp.ack = 200
+    assert adapter.handle(frame, None) == ACTION_TX
+    assert frame.eth.dst == 0xCC
+    assert frame.ip.dst == str_to_ip("10.0.0.3")
+    assert (frame.tcp.sport, frame.tcp.dport) == (7777, 8888)
+    assert frame.tcp.seq == 1100
+    assert frame.tcp.ack == 2200
+
+
+def test_splice_miss_passes_and_fin_removes():
+    removed = []
+    splice = SpliceProgram(control_plane_cb=lambda key, frame: removed.append(key))
+    adapter = XdpAdapter(py_program=splice)
+    assert adapter.handle(frame_from(GOOD_IP), None) == ACTION_PASS
+    key = splice_key(GOOD_IP, DST_IP, 1000, 2000)
+    splice.install(key, SpliceEntry(0xCC, 1, 1, 1, 0, 0))
+    fin = frame_from(GOOD_IP, flags=FLAG_ACK | FLAG_FIN)
+    assert adapter.handle(fin, None) == ACTION_REDIRECT
+    assert removed == [key]
+    assert splice.table.lookup(key) is None
+
+
+def test_module_chain_stops_on_non_pass():
+    firewall = FirewallProgram()
+    firewall.block(BAD_IP)
+    classifier = FlowClassifierProgram()
+    chain = ModuleChain([XdpAdapter(py_program=firewall), XdpAdapter(py_program=classifier)])
+    assert chain.run(frame_from(BAD_IP), None) == ACTION_DROP
+    packets, _ = classifier.read_class(2000 % 16)
+    assert packets == 0  # never reached
+
+
+def test_splice_on_live_nic():
+    """Frames spliced on the NIC bounce back out the MAC without any
+    host interaction."""
+    from repro.flextoe import FlexToeNic
+    from repro.flextoe.config import PipelineConfig
+    from repro.flextoe.module import ModuleChain
+    from repro.net import Link, Port
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    splice = SpliceProgram()
+    chain = ModuleChain([XdpAdapter(py_program=splice)])
+    nic = FlexToeNic(sim, config=PipelineConfig.full(), ingress_modules=chain)
+    wire_a = Port(sim, "a")
+    nic_port = Port(sim, "nic")
+    Link(sim, wire_a, nic_port, rate_bps=40_000_000_000, prop_delay_ns=100)
+    nic.attach_port(nic_port)
+    returned = []
+    wire_a.receiver = lambda frame: returned.append(frame)
+
+    key = splice_key(GOOD_IP, DST_IP, 1000, 2000)
+    splice.install(key, SpliceEntry(0xDD, str_to_ip("10.9.9.9"), 5, 6, 10, 20))
+    wire_a.send(frame_from(GOOD_IP, sport=1000, dport=2000))
+    sim.run(until=1_000_000)
+    assert len(returned) == 1
+    assert returned[0].eth.dst == 0xDD
+    assert splice.spliced == 1
+    assert nic.datapath.stats.get("xdp_tx") == 1

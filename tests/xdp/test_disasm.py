@@ -1,0 +1,83 @@
+"""Disassembler round trips: asm(disasm(asm(text))) == asm(text)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xdp import assemble
+from repro.xdp.disasm import disassemble, disassemble_insn
+from repro.xdp.builtins.firewall import FIREWALL_ASM
+from repro.xdp.builtins.filter import CLASSIFIER_ASM
+
+
+def roundtrip(text):
+    program = assemble(text)
+    text2 = disassemble(program)
+    program2 = assemble(text2)
+    assert len(program) == len(program2)
+    for a, b in zip(program, program2):
+        assert (a.op, a.dst, a.src, a.off, a.imm) == (b.op, b.dst, b.src, b.off, b.imm)
+    return program
+
+
+def test_roundtrip_firewall():
+    roundtrip(FIREWALL_ASM)
+
+
+def test_roundtrip_classifier():
+    roundtrip(CLASSIFIER_ASM)
+
+
+def test_disassemble_single_forms():
+    program = assemble(
+        """
+        mov r1, 5
+        mov r2, r1
+        add32 r2, 7
+        neg r2
+        be16 r2
+        lddw r3, 0xdeadbeef
+        ldxw r4, [r1+12]
+        stxb [r1-3], r4
+        stdw [r10-8], 99
+        jne r4, r2, 1
+        ja 0
+        call 1
+        exit
+        """
+    )
+    lines = disassemble(program).splitlines()
+    assert lines[0] == "mov r1, 5"
+    assert lines[1] == "mov r2, r1"
+    assert lines[3] == "neg r2"
+    assert lines[6] == "ldxw r4, [r1+12]"
+    assert lines[7] == "stxb [r1-3], r4"
+    assert lines[-1] == "exit"
+
+
+regs = st.integers(min_value=0, max_value=10)
+imms = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+offs = st.integers(min_value=-64, max_value=64)
+
+alu_ops = st.sampled_from(["mov", "add", "sub", "mul", "and", "or", "xor", "lsh", "rsh", "add32"])
+jmp_ops = st.sampled_from(["jeq", "jne", "jgt", "jge", "jlt", "jle", "jset"])
+mem_sizes = st.sampled_from(["b", "h", "w", "dw"])
+
+
+@given(alu_ops, regs, st.one_of(regs.map(lambda r: "r%d" % r), imms.map(str)))
+def test_roundtrip_alu_any(op, dst, src):
+    text = "{} r{}, {}\nexit".format(op, dst, src)
+    roundtrip(text)
+
+
+@given(jmp_ops, regs, imms, st.integers(min_value=0, max_value=5))
+def test_roundtrip_jump_any(op, dst, imm, off):
+    text = "{} r{}, {}, {}\nexit".format(op, dst, imm, off)
+    roundtrip(text)
+
+
+@given(mem_sizes, regs, regs, offs)
+def test_roundtrip_loads_stores(size, dst, src, off)  :
+    text = "ldx{sz} r{d}, [r{s}{o:+d}]\nstx{sz} [r{s}{o:+d}], r{d}\nexit".format(
+        sz=size, d=dst, s=src, o=off
+    )
+    roundtrip(text)
