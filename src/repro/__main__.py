@@ -3,7 +3,13 @@
 Builds the four-stack testbed, runs one echo RPC on each server stack,
 and prints a latency line per stack — a smoke test that the whole
 simulation (NIC pipeline, control plane, baselines, switch) is healthy.
+
+``python -m repro lint`` instead runs the static analysis suite
+(:mod:`repro.analysis.cli`): XDP verifier, stage race lint, and
+sim-process lint.
 """
+
+import sys
 
 from repro.apps import EchoServer
 from repro.apps.rpc import ClosedLoopClient
@@ -45,4 +51,11 @@ def main():
 
 
 if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        if sys.argv[1] == "lint":
+            from repro.analysis.cli import main as lint_main
+
+            sys.exit(lint_main(sys.argv[2:]))
+        print("usage: python -m repro [lint ...]  (no argument runs the self-demo)")
+        sys.exit(2)
     main()

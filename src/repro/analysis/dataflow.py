@@ -1,0 +1,149 @@
+"""The abstract domain for the CFG verifier.
+
+Each register holds a :class:`RegVal` — a type tag plus, where known, a
+constant (scalars) or a fixed offset from the region base (pointers).
+The per-path machine state (:class:`AbsState`) adds a stack-byte
+initialization bitmap and the number of packet bytes proven in bounds.
+
+``meet`` combines states at control-flow joins and is sound by
+construction: a fact holds after the join only if it held on *every*
+incoming path. Registers initialized on one arm only therefore meet to
+``UNINIT`` — the unsoundness of the old straight-line verifier.
+"""
+
+STACK_SIZE = 512
+
+# Register kinds.
+UNINIT = "uninit"
+SCALAR = "scalar"
+CTX_PTR = "ctx_ptr"  # pointer into the 16-byte xdp context
+PKT_PTR = "pkt_ptr"  # pointer into packet data
+PKT_END = "pkt_end"  # the data_end sentinel
+STACK_PTR = "stack_ptr"  # pointer relative to the frame pointer (r10)
+MAP_VALUE = "map_value"  # non-NULL pointer into a map value
+MAP_VALUE_OR_NULL = "map_value_or_null"  # lookup result before the null check
+
+_POINTER_KINDS = frozenset((CTX_PTR, PKT_PTR, STACK_PTR, MAP_VALUE))
+
+
+class RegVal:
+    """Abstract value of one register.
+
+    ``off`` is the constant offset from the region base for pointers
+    (``None`` when unknown, e.g. after a join of differing offsets);
+    ``const`` is the known integer value for scalars; ``fd`` is the map
+    file descriptor for map-value pointers.
+    """
+
+    __slots__ = ("kind", "off", "const", "fd")
+
+    def __init__(self, kind, off=None, const=None, fd=None):
+        self.kind = kind
+        self.off = off
+        self.const = const
+        self.fd = fd
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def uninit(cls):
+        return cls(UNINIT)
+
+    @classmethod
+    def scalar(cls, const=None):
+        return cls(SCALAR, const=const)
+
+    @classmethod
+    def pointer(cls, kind, off=0, fd=None):
+        return cls(kind, off=off, fd=fd)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_pointer(self):
+        return self.kind in _POINTER_KINDS
+
+    @property
+    def is_uninit(self):
+        return self.kind == UNINIT
+
+    # -- lattice -----------------------------------------------------------
+
+    def meet(self, other):
+        """Greatest lower bound: keep only facts true on both paths."""
+        if self == other:
+            return self
+        a, b = self.kind, other.kind
+        if a == b:
+            off = self.off if self.off == other.off else None
+            fd = self.fd if self.fd == other.fd else None
+            if a == SCALAR:
+                return RegVal.scalar(self.const if self.const == other.const else None)
+            return RegVal(a, off=off, fd=fd)
+        # A checked and an unchecked map value meet to the unchecked form.
+        if {a, b} == {MAP_VALUE, MAP_VALUE_OR_NULL}:
+            off = self.off if self.off == other.off else None
+            fd = self.fd if self.fd == other.fd else None
+            return RegVal(MAP_VALUE_OR_NULL, off=off, fd=fd)
+        return RegVal.uninit()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, RegVal)
+            and self.kind == other.kind
+            and self.off == other.off
+            and self.const == other.const
+            and self.fd == other.fd
+        )
+
+    def __repr__(self):
+        extra = ""
+        if self.kind == SCALAR and self.const is not None:
+            extra = "={}".format(self.const)
+        elif self.is_pointer or self.kind == MAP_VALUE_OR_NULL:
+            extra = "+{}".format(self.off)
+            if self.fd is not None:
+                extra += " fd={}".format(self.fd)
+        return "<{}{}>".format(self.kind, extra)
+
+
+class AbsState:
+    """Abstract machine state on entry to one instruction."""
+
+    __slots__ = ("regs", "stack_init", "pkt_valid")
+
+    def __init__(self, regs=None, stack_init=0, pkt_valid=0):
+        if regs is None:
+            regs = [RegVal.uninit() for _ in range(11)]
+            regs[1] = RegVal.pointer(CTX_PTR, 0)
+            regs[10] = RegVal.pointer(STACK_PTR, 0)
+        self.regs = regs
+        # Bit i set <=> stack byte at r10 - STACK_SIZE + i was written.
+        self.stack_init = stack_init
+        # Packet bytes [0, pkt_valid) proven accessible on this path.
+        self.pkt_valid = pkt_valid
+
+    def copy(self):
+        return AbsState(list(self.regs), self.stack_init, self.pkt_valid)
+
+    def meet(self, other):
+        """Join-point combination: the intersection of path facts."""
+        return AbsState(
+            [a.meet(b) for a, b in zip(self.regs, other.regs)],
+            self.stack_init & other.stack_init,
+            min(self.pkt_valid, other.pkt_valid),
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, AbsState)
+            and self.regs == other.regs
+            and self.stack_init == other.stack_init
+            and self.pkt_valid == other.pkt_valid
+        )
+
+    def __repr__(self):
+        live = {
+            "r{}".format(i): reg for i, reg in enumerate(self.regs) if not reg.is_uninit
+        }
+        return "<AbsState {} pkt_valid={}>".format(live, self.pkt_valid)

@@ -1,0 +1,68 @@
+"""Findings and report rendering for the analysis passes.
+
+Every pass produces :class:`Finding` records; the CLI renders them as
+human-readable text or a machine-readable JSON document (stable field
+names, so CI and tooling can gate on them).
+"""
+
+import json
+
+PASS_XDP = "xdp-verifier"
+PASS_STAGE = "stage-race"
+PASS_SIM = "sim-process"
+
+
+class Finding:
+    """One analysis diagnostic, anchored to a file location."""
+
+    __slots__ = ("pass_name", "path", "line", "code", "message")
+
+    def __init__(self, pass_name, path, line, code, message):
+        self.pass_name = pass_name
+        self.path = path
+        self.line = int(line)
+        self.code = code
+        self.message = message
+
+    def to_dict(self):
+        return {
+            "pass": self.pass_name,
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def __repr__(self):
+        return "<Finding {} {}:{} {}>".format(self.code, self.path, self.line, self.message)
+
+    def __eq__(self, other):
+        return isinstance(other, Finding) and self.to_dict() == other.to_dict()
+
+
+def render_text(findings):
+    """Human-readable report, one line per finding."""
+    if not findings:
+        return "repro lint: clean (0 findings)"
+    lines = []
+    for finding in findings:
+        lines.append(
+            "{}:{}: [{}] {} ({})".format(
+                finding.path, finding.line, finding.pass_name, finding.message, finding.code
+            )
+        )
+    lines.append("repro lint: {} finding{}".format(len(findings), "" if len(findings) == 1 else "s"))
+    return "\n".join(lines)
+
+
+def render_json(findings, checked=None):
+    """Machine-readable report. ``checked`` maps pass name -> unit count."""
+    by_pass = {}
+    for finding in findings:
+        by_pass[finding.pass_name] = by_pass.get(finding.pass_name, 0) + 1
+    document = {
+        "version": 1,
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": {"total": len(findings), "by_pass": by_pass, "checked": dict(checked or {})},
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

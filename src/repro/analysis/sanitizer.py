@@ -1,0 +1,148 @@
+"""Opt-in runtime ownership sanitizer for protocol state.
+
+The static race lint proves stage *code* respects the ownership
+contract; this sanitizer checks it dynamically for whatever actually
+executes, including extension modules and future refactors the lint's
+heuristics might miss. With ``REPRO_SANITIZE=1`` (or a programmatic
+:func:`install`):
+
+* every :class:`~repro.flextoe.state.ProtocolState` installed in a
+  connection table is registered with its owning flow group;
+* every data-path stage process runs wrapped so the sanitizer knows
+  which stage kind (and flow group) is executing between yields —
+  the simulator is single-threaded, so the currently-resumed process
+  is exactly the code performing a write;
+* instrumented ``ProtocolState.__setattr__`` raises
+  :class:`SanitizerError` on any write from a non-protocol stage, or
+  from a protocol stage of a *different* flow group.
+
+Writes with no stage context (control-plane setup, tests constructing
+state directly) are allowed: the invariant being enforced is data-path
+stage ownership, not construction.
+
+The hooks are deliberately cheap no-ops when not installed, so the
+production path pays one module-level boolean check at datapath
+construction and nothing per packet.
+"""
+
+import os
+
+#: Stage kind allowed to mutate protocol state.
+PROTO_STAGE = "proto"
+
+_OWNER_STACK = []
+# id(state) -> (flow_group, state). The strong reference pins the object
+# so ids cannot be recycled while registered; entries are dropped on
+# unregister (connection removal) or uninstall.
+_REGISTRY = {}
+_installed = False
+_original_setattr = None
+
+
+class SanitizerError(AssertionError):
+    """A data-path write violated stage or flow-group ownership."""
+
+
+def enabled():
+    return _installed
+
+
+def maybe_install_from_env():
+    """Install when ``REPRO_SANITIZE`` is set to a truthy value."""
+    if os.environ.get("REPRO_SANITIZE", "0") not in ("", "0"):
+        install()
+    return _installed
+
+
+def install():
+    """Instrument ``ProtocolState.__setattr__`` (idempotent)."""
+    global _installed, _original_setattr
+    if _installed:
+        return
+    from repro.flextoe.state import ProtocolState
+
+    _original_setattr = ProtocolState.__setattr__
+
+    def _guarded_setattr(self, name, value):
+        if _OWNER_STACK:
+            entry = _REGISTRY.get(id(self))
+            if entry is not None and entry[1] is self:
+                stage, group = _OWNER_STACK[-1]
+                owning_group = entry[0]
+                if stage != PROTO_STAGE:
+                    raise SanitizerError(
+                        "stage '{}' wrote ProtocolState.{} (flow group {}): only "
+                        "the atomic protocol stage may mutate protocol state".format(
+                            stage, name, owning_group
+                        )
+                    )
+                if group is not None and group != owning_group:
+                    raise SanitizerError(
+                        "protocol stage of flow group {} wrote ProtocolState.{} "
+                        "owned by flow group {}: cross-flow-group write".format(
+                            group, name, owning_group
+                        )
+                    )
+        _original_setattr(self, name, value)
+
+    ProtocolState.__setattr__ = _guarded_setattr
+    _installed = True
+
+
+def uninstall():
+    """Remove the instrumentation and forget all registrations."""
+    global _installed, _original_setattr
+    if not _installed:
+        return
+    from repro.flextoe.state import ProtocolState
+
+    ProtocolState.__setattr__ = _original_setattr
+    _original_setattr = None
+    _installed = False
+    _REGISTRY.clear()
+    del _OWNER_STACK[:]
+
+
+def register(state, flow_group):
+    """Declare ``state`` owned by ``flow_group`` (at connection install)."""
+    _REGISTRY[id(state)] = (flow_group, state)
+
+
+def unregister(state):
+    _REGISTRY.pop(id(state), None)
+
+
+def current_owner():
+    """The (stage kind, flow group) currently executing, or None."""
+    return _OWNER_STACK[-1] if _OWNER_STACK else None
+
+
+def guard_process(generator, stage, flow_group=None):
+    """Wrap a stage process so its execution carries ownership context.
+
+    The wrapper sets the owner token whenever the inner generator's code
+    runs and clears it while the process is suspended on an event, so
+    concurrent (interleaved) stage processes never see each other's
+    token. Exceptions thrown into the wrapper (e.g. simulator
+    interrupts) are forwarded into the inner generator under the token.
+    """
+    token = (stage, flow_group)
+    send_value = None
+    thrown = None
+    while True:
+        _OWNER_STACK.append(token)
+        try:
+            if thrown is not None:
+                exc, thrown = thrown, None
+                item = generator.throw(exc)
+            else:
+                item = generator.send(send_value)
+        except StopIteration as stop:
+            return getattr(stop, "value", None)
+        finally:
+            _OWNER_STACK.pop()
+        try:
+            send_value = yield item
+        except BaseException as exc:  # forwarded on the next resume
+            thrown = exc
+            send_value = None

@@ -1,0 +1,146 @@
+"""Lint for discrete-event simulation processes.
+
+The simulator owns time and randomness: every timestamp comes from
+``sim.now`` / :mod:`repro.sim.clock` and every random draw from a named
+:class:`repro.sim.rng.RngPool` stream, so experiments are deterministic
+and reproducible. Code that reaches for the wall clock or the global
+``random`` module silently breaks both. Generator processes must yield
+:class:`repro.sim.core.Event` objects — yielding anything else kills
+the process at run time with a :class:`SimulationError`.
+
+Statically flagged:
+
+* ``time.time()`` / ``monotonic()`` / ``perf_counter()`` / ``sleep()``
+  and friends — wall-clock use bypassing the simulated clock
+  (``wall-clock``);
+* module-level ``random.*`` calls (``random.random()``,
+  ``random.randint()``, ...) — the process-global RNG bypassing seeded
+  streams; constructing private ``random.Random(seed)`` instances is
+  allowed (``global-rng``);
+* ``yield`` of a literal constant and bare ``yield`` inside generator
+  functions — non-events a sim process would die on (``yield-non-event``).
+
+A line may opt out with a ``# sim-lint: allow`` comment (e.g. harness
+code legitimately measuring wall time).
+"""
+
+import ast
+import os
+
+from repro.analysis.report import PASS_SIM, Finding
+
+PRAGMA = "sim-lint: allow"
+
+#: time.<attr>() calls that read or spend wall-clock time.
+WALLCLOCK_CALLS = frozenset(
+    (
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "sleep",
+    )
+)
+
+#: random.<attr> calls that are fine: private, seedable generators.
+GLOBAL_RNG_ALLOWED = frozenset(("Random", "SystemRandom"))
+
+
+def _pragma_lines(source):
+    return {
+        number
+        for number, line in enumerate(source.splitlines(), start=1)
+        if PRAGMA in line
+    }
+
+
+class _SimLintVisitor(ast.NodeVisitor):
+    def __init__(self, filename, allowed_lines):
+        self.filename = filename
+        self.allowed = allowed_lines
+        self.findings = []
+
+    def _add(self, node, code, message):
+        if node.lineno in self.allowed:
+            return
+        self.findings.append(Finding(PASS_SIM, self.filename, node.lineno, code, message))
+
+    def visit_Call(self, node):
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module, attr = func.value.id, func.attr
+            if module == "time" and attr in WALLCLOCK_CALLS:
+                self._add(
+                    node,
+                    "wall-clock",
+                    "time.{}() bypasses the simulated clock; use sim.now / "
+                    "repro.sim.clock".format(attr),
+                )
+            elif module == "random" and attr not in GLOBAL_RNG_ALLOWED:
+                self._add(
+                    node,
+                    "global-rng",
+                    "random.{}() uses the process-global RNG; draw from a "
+                    "named repro.sim.rng stream".format(attr),
+                )
+        self.generic_visit(node)
+
+    def _check_yields(self, function):
+        # Walk this function's own body only; nested defs are separate
+        # scopes and get their own visit_FunctionDef pass.
+        stack = list(function.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            if isinstance(node, ast.Yield):
+                if node.value is None:
+                    self._add(
+                        node,
+                        "yield-non-event",
+                        "bare yield in a sim process yields None, not an Event",
+                    )
+                elif isinstance(node.value, ast.Constant):
+                    self._add(
+                        node,
+                        "yield-non-event",
+                        "yield of literal {!r}: sim processes must yield "
+                        "Event objects".format(node.value.value),
+                    )
+
+    def visit_FunctionDef(self, node):
+        self._check_yields(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def lint_source(source, filename):
+    """Lint one file's source text; returns findings."""
+    tree = ast.parse(source, filename=filename)
+    visitor = _SimLintVisitor(filename, _pragma_lines(source))
+    visitor.visit(tree)
+    visitor.findings.sort(key=lambda f: f.line)
+    return visitor.findings
+
+
+def lint_tree(root=None):
+    """Lint every ``.py`` file under ``root`` (default: the repro package)."""
+    if root is None:
+        import repro
+
+        root = os.path.dirname(repro.__file__)
+    findings = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path) as handle:
+                findings.extend(lint_source(handle.read(), path))
+    return findings

@@ -1,0 +1,288 @@
+"""Static race lint for the fine-grained pipeline (paper §3.1, Table 5).
+
+Connection state is partitioned across stages — the pre-processor owns
+identification state, the protocol stage owns the TCP machine, the
+post-processor owns the app interface — and only the *atomic* protocol
+stage may mutate protocol state. Replicated stages (pre, post, GRO,
+DMA) and one-shot extension modules must treat it as read-only; a write
+from any of them is a data race the moment stages run on separate FPCs.
+
+This pass extracts per-stage read/write sets of connection-state
+attributes from the AST and flags:
+
+* writes to protocol-owned attributes outside ``ProtocolStage`` /
+  :mod:`repro.flextoe.proto_logic` (``stage-writes-proto``);
+* writes to the pre-processor partition anywhere in the data-path —
+  it is installed by the control plane and immutable after
+  (``stage-writes-pre``);
+* writes to the post partition from stages other than the post stage
+  (``stage-writes-post``);
+* any connection-partition write from a ``DatapathModule.handle`` —
+  modules get one-shot segment + metadata access only, never
+  connection state (``module-writes-state``).
+
+Attribute ownership comes from the ``__slots__`` declarations in
+:mod:`repro.flextoe.state`, parsed statically, so the lint needs no
+imports of the code under analysis.
+"""
+
+import ast
+import os
+
+from repro.analysis.report import PASS_STAGE, Finding
+
+#: Partition accessor attributes on a ConnectionRecord.
+PARTITIONS = ("pre", "proto", "post")
+
+_STATE_CLASSES = {
+    "PreprocState": "pre",
+    "ProtocolState": "proto",
+    "PostprocState": "post",
+}
+
+ROLE_PROTOCOL = "protocol"  # the atomic stage: may write proto state
+ROLE_STAGE = "stage"  # replicated/read-only pipeline code
+ROLE_MODULE = "module"  # one-shot extension modules
+ROLE_PROTO_LOGIC = "proto-logic"  # pure functions called by the protocol stage
+
+
+def _flextoe_path(name):
+    import repro.flextoe
+
+    return os.path.join(os.path.dirname(repro.flextoe.__file__), name)
+
+
+def default_paths():
+    """The data-path modules the race lint covers."""
+    return [
+        _flextoe_path("stages.py"),
+        _flextoe_path("proto_logic.py"),
+        _flextoe_path("module.py"),
+        _flextoe_path("seqr.py"),
+    ]
+
+
+def partition_ownership(state_source=None):
+    """Parse ``repro/flextoe/state.py`` ``__slots__`` into ownership sets.
+
+    Returns ``{attr_name: partition}`` for every slot of the three
+    partition classes.
+    """
+    if state_source is None:
+        with open(_flextoe_path("state.py")) as handle:
+            state_source = handle.read()
+    ownership = {}
+    tree = ast.parse(state_source)
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef) or node.name not in _STATE_CLASSES:
+            continue
+        partition = _STATE_CLASSES[node.name]
+        for statement in node.body:
+            if not isinstance(statement, ast.Assign):
+                continue
+            targets = [t.id for t in statement.targets if isinstance(t, ast.Name)]
+            if "__slots__" not in targets:
+                continue
+            if isinstance(statement.value, (ast.Tuple, ast.List)):
+                for element in statement.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                        ownership[element.value] = partition
+    return ownership
+
+
+def _role_of_class(node):
+    method_names = {n.name for n in node.body if isinstance(n, ast.FunctionDef)}
+    if "Protocol" in node.name:
+        return ROLE_PROTOCOL
+    if "handle" in method_names and "program" not in method_names:
+        return ROLE_MODULE
+    return ROLE_STAGE
+
+
+def _partition_of_value(node):
+    """Partition tag if ``node`` is an expression ending in ``.pre/.proto/.post``."""
+    if isinstance(node, ast.Attribute) and node.attr in PARTITIONS:
+        return node.attr
+    return None
+
+
+class _FunctionAccess(ast.NodeVisitor):
+    """Collects partition reads/writes inside one function body."""
+
+    def __init__(self, ownership, role, self_partition=None, state_params=()):
+        self.ownership = ownership
+        self.role = role
+        self.reads = set()  # (partition, attr)
+        self.writes = set()  # (partition, attr, lineno)
+        # Local names currently aliasing a partition object.
+        self.aliases = {}
+        for param in state_params:
+            self.aliases[param] = "proto"
+        self.self_partition = self_partition
+
+    def _base_partition(self, node):
+        """Partition of the object an attribute access dereferences."""
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id)
+        return _partition_of_value(node)
+
+    def _record(self, target, store):
+        if not isinstance(target, ast.Attribute):
+            return
+        partition = self._base_partition(target.value)
+        if partition is None:
+            return
+        if store:
+            self.writes.add((partition, target.attr, target.lineno))
+        else:
+            self.reads.add((partition, target.attr))
+
+    def visit_Assign(self, node):
+        # visit (not generic_visit): the value may itself be a partition
+        # attribute read (group = record.pre.flow_group).
+        self.visit(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                # Track/clear aliases: state = record.proto, post = record.post
+                self.aliases.pop(target.id, None)
+                partition = _partition_of_value(node.value)
+                if partition is not None:
+                    self.aliases[target.id] = partition
+            else:
+                self._record(target, store=True)
+                if isinstance(target, ast.Attribute):
+                    self.generic_visit(target.value)
+
+    def visit_AugAssign(self, node):
+        self.visit(node.value)
+        self._record(node.target, store=True)
+        if isinstance(node.target, ast.Attribute):
+            self.generic_visit(node.target.value)
+
+    def visit_Attribute(self, node):
+        if isinstance(node.ctx, ast.Load):
+            self._record(node, store=False)
+        elif isinstance(node.ctx, ast.Store):
+            self._record(node, store=True)
+        self.generic_visit(node)
+
+
+def _iter_functions(class_node):
+    for node in class_node.body:
+        if isinstance(node, ast.FunctionDef):
+            yield node
+
+
+def extract_access_sets(source, filename, ownership=None):
+    """Per-function partition read/write sets.
+
+    Returns ``{qualname: {"role": role, "reads": set, "writes": set}}``
+    where set members are ``"partition.attr"`` strings.
+    """
+    if ownership is None:
+        ownership = partition_ownership()
+    tree = ast.parse(source, filename=filename)
+    is_proto_logic = os.path.basename(filename) == "proto_logic.py"
+    access = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            role = _role_of_class(node)
+            for function in _iter_functions(node):
+                # Codebase convention: a parameter named ``state`` is the
+                # connection's ProtocolState (see ProtocolStage._process_*).
+                params = [a.arg for a in function.args.args if a.arg == "state"]
+                collector = _FunctionAccess(ownership, role, state_params=params)
+                for statement in function.body:
+                    collector.visit(statement)
+                access["{}.{}".format(node.name, function.name)] = {
+                    "role": role,
+                    "reads": {"{}.{}".format(p, a) for p, a in collector.reads},
+                    "writes": {"{}.{}".format(p, a) for p, a, _ in collector.writes},
+                    "_raw_writes": collector.writes,
+                }
+        elif isinstance(node, ast.FunctionDef) and is_proto_logic:
+            # proto_logic convention: the mutable ProtocolState parameter
+            # is named ``state``.
+            params = [a.arg for a in node.args.args if a.arg == "state"]
+            collector = _FunctionAccess(ownership, ROLE_PROTO_LOGIC, state_params=params)
+            for statement in node.body:
+                collector.visit(statement)
+            access[node.name] = {
+                "role": ROLE_PROTO_LOGIC,
+                "reads": {"{}.{}".format(p, a) for p, a in collector.reads},
+                "writes": {"{}.{}".format(p, a) for p, a, _ in collector.writes},
+                "_raw_writes": collector.writes,
+            }
+    return access
+
+
+def _violations_for(qualname, info, filename, ownership):
+    findings = []
+    role = info["role"]
+    class_name = qualname.split(".")[0]
+    for partition, attr, lineno in info["_raw_writes"]:
+        code = None
+        if ownership and ownership.get(attr) != partition:
+            findings.append(
+                Finding(
+                    PASS_STAGE,
+                    filename,
+                    lineno,
+                    "unknown-state-attr",
+                    "{} writes '{}' which is not a declared slot of the "
+                    "{} partition".format(qualname, attr, partition),
+                )
+            )
+            continue
+        if role == ROLE_MODULE:
+            # Modules never touch connection state, whichever partition.
+            code = "module-writes-state"
+            message = (
+                "{} writes connection state '{}': modules get one-shot "
+                "segment+metadata access only (paper §3.3)".format(qualname, attr)
+            )
+        elif partition == "proto" and role not in (ROLE_PROTOCOL, ROLE_PROTO_LOGIC):
+            code = "stage-writes-proto"
+            message = (
+                "{} writes protocol-owned state '{}': only the atomic "
+                "ProtocolStage may mutate the TCP machine".format(qualname, attr)
+            )
+        elif partition == "pre":
+            code = "stage-writes-pre"
+            message = (
+                "{} writes pre-processor state '{}': the identification "
+                "partition is control-plane-installed and immutable".format(qualname, attr)
+            )
+        elif partition == "post" and not (role == ROLE_STAGE and "Post" in class_name):
+            code = "stage-writes-post"
+            message = (
+                "{} writes post-processor state '{}': only the post "
+                "stage owns the app-interface partition".format(qualname, attr)
+            )
+        if code is not None:
+            findings.append(Finding(PASS_STAGE, filename, lineno, code, message))
+    return findings
+
+
+def lint_source(source, filename, ownership=None):
+    """Lint one module's source; returns (access_sets, findings)."""
+    if ownership is None:
+        ownership = partition_ownership()
+    access = extract_access_sets(source, filename, ownership)
+    findings = []
+    for qualname, info in access.items():
+        findings.extend(_violations_for(qualname, info, filename, ownership))
+    findings.sort(key=lambda f: (f.path, f.line))
+    return access, findings
+
+
+def lint_stages(paths=None, ownership=None):
+    """Run the race lint over the data-path modules; returns findings."""
+    if ownership is None:
+        ownership = partition_ownership()
+    findings = []
+    for path in paths or default_paths():
+        with open(path) as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, path, ownership)[1])
+    return findings

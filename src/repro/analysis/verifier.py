@@ -1,0 +1,378 @@
+"""CFG/worklist verification of XDP VM programs.
+
+The load-time guarantees the NFP offload needs (paper §3.3), made
+path-sensitive:
+
+* programs terminate — bounded length, no back-edges;
+* every path reaches ``exit`` — no jump or fallthrough leaves the
+  program, including targets one past the end;
+* no unreachable code;
+* registers are initialized on *every* path before use (facts meet at
+  control-flow joins, so one-arm initialization does not survive);
+* scalars and pointers are distinguished; loads and stores through
+  context, stack, packet, and map-value pointers are bounds-checked
+  against their region, packet accesses additionally against the
+  bounds comparisons performed on that path;
+* map-value pointers must be null-checked before dereference;
+* helper calls name known helpers, pass a compile-time map fd, pass
+  initialized key/value buffers of the map's sizes, and clobber r1-r5.
+
+Run-time checks in :mod:`repro.xdp.vm` remain as defense in depth.
+"""
+
+from repro.analysis.cfg import JUMP_BASES, insn_base, insn_successors
+from repro.analysis.dataflow import (
+    CTX_PTR,
+    MAP_VALUE,
+    MAP_VALUE_OR_NULL,
+    PKT_END,
+    PKT_PTR,
+    SCALAR,
+    STACK_PTR,
+    STACK_SIZE,
+    AbsState,
+    RegVal,
+)
+from repro.xdp.vm import HELPER_MAP_DELETE, HELPER_MAP_LOOKUP, HELPER_MAP_UPDATE
+
+MAX_PROGRAM_LEN = 4096
+CTX_SIZE = 16
+
+VALID_HELPERS = {HELPER_MAP_LOOKUP, HELPER_MAP_UPDATE, HELPER_MAP_DELETE}
+
+#: Registers each helper reads (r1 = map fd, r2 = key, ...).
+HELPER_ARG_COUNT = {
+    HELPER_MAP_LOOKUP: 2,
+    HELPER_MAP_UPDATE: 3,
+    HELPER_MAP_DELETE: 2,
+}
+
+_SIZES = {"b": 1, "h": 2, "w": 4, "dw": 8}
+
+_ALU_BASES = frozenset(
+    ("add", "sub", "mul", "div", "mod", "and", "or", "xor", "lsh", "rsh", "arsh", "neg")
+)
+_CONST_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+}
+
+# (jump base, branch taken?) pairs proving pkt + N <= data_end when the
+# packet pointer is the dst operand / the src operand respectively.
+_PKT_DST_PROOFS = {("jgt", False), ("jge", False), ("jle", True), ("jlt", True)}
+_PKT_SRC_PROOFS = {("jlt", False), ("jle", False), ("jge", True), ("jgt", True)}
+
+
+class VerifierError(Exception):
+    pass
+
+
+def verify(program, maps=None):
+    """Raise :class:`VerifierError` if the program is unacceptable."""
+    _Verifier(program, maps).run()
+    return True
+
+
+class _Verifier:
+    def __init__(self, program, maps):
+        self.program = program
+        self.maps = maps
+
+    def err(self, index, message):
+        raise VerifierError("insn {}: {}".format(index, message))
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self):
+        program = self.program
+        if not program:
+            raise VerifierError("empty program")
+        if len(program) > MAX_PROGRAM_LEN:
+            raise VerifierError("program too long ({} insns)".format(len(program)))
+        self.structural_checks()
+        in_states = self.dataflow()
+        for index, state in enumerate(in_states):
+            if state is None:
+                self.err(index, "unreachable code")
+
+    def structural_checks(self):
+        """Range/termination checks that need no dataflow.
+
+        Rejecting every control transfer that leaves ``[0, n)`` — which
+        includes the fallthrough of the final instruction — makes
+        "every path reaches exit" a structural corollary: the program
+        is a DAG (no back-edges) whose only terminators are ``exit``.
+        """
+        program = self.program
+        n = len(program)
+        for index, insn in enumerate(program):
+            base = insn_base(insn)
+            if base == "exit":
+                continue
+            if base == "call" and insn.imm not in VALID_HELPERS:
+                self.err(index, "unknown helper {}".format(insn.imm))
+            if base == "ja" or base in JUMP_BASES:
+                if insn.off < 0:
+                    self.err(index, "backward jump (loops rejected)")
+                target = index + 1 + insn.off
+                if target >= n:
+                    self.err(
+                        index,
+                        "jump target {} leaves the program: "
+                        "control would fall off the end without reaching exit".format(target),
+                    )
+            for succ in insn_successors(program, index):
+                if succ >= n:
+                    self.err(
+                        index,
+                        "control falls off the end of the program: "
+                        "this path never reaches exit",
+                    )
+
+    def dataflow(self):
+        """Worklist fixpoint over per-instruction entry states."""
+        program = self.program
+        in_states = [None] * len(program)
+        in_states[0] = AbsState()
+        worklist = [0]
+        while worklist:
+            index = worklist.pop()
+            state = in_states[index]
+            for succ, out in self.transfer(index, state.copy()):
+                merged = out if in_states[succ] is None else in_states[succ].meet(out)
+                if in_states[succ] is None or merged != in_states[succ]:
+                    in_states[succ] = merged
+                    worklist.append(succ)
+        return in_states
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer(self, index, state):
+        """Apply ``program[index]`` to ``state``.
+
+        Returns ``(successor index, out state)`` pairs, one per CFG
+        edge, with branch facts (packet bounds, null checks) refined
+        per edge.
+        """
+        insn = self.program[index]
+        base, _, mode = insn.op.partition(".")
+        if base == "exit":
+            return []
+        if base == "call":
+            self.apply_call(index, insn, state)
+            return [(index + 1, state)]
+        if base == "ja":
+            return [(index + 1 + insn.off, state)]
+        if base in JUMP_BASES:
+            self.check_read(index, state, insn.dst, "jump")
+            if mode == "reg":
+                self.check_read(index, state, insn.src, "jump")
+            fall = self.refine_branch(state, insn, base, mode, taken=False)
+            taken = self.refine_branch(state, insn, base, mode, taken=True)
+            return [(index + 1, fall), (index + 1 + insn.off, taken)]
+        if base in ("mov", "mov32"):
+            self.apply_mov(index, insn, state, base, mode)
+        elif base == "lddw":
+            state.regs[insn.dst] = RegVal.scalar(insn.imm)
+        elif base.startswith("ldx"):
+            self.apply_load(index, insn, state, _SIZES[base[3:]])
+        elif base.startswith("stx"):
+            self.check_read(index, state, insn.src, "store")
+            self.apply_store(index, insn, state, _SIZES[base[3:]])
+        elif base.startswith("st"):
+            self.apply_store(index, insn, state, _SIZES[base[2:]])
+        else:
+            self.apply_alu(index, insn, state, base, mode)
+        return [(index + 1, state)]
+
+    def check_read(self, index, state, reg, what):
+        if state.regs[reg].is_uninit:
+            self.err(index, "{} reads uninitialized r{}".format(what, reg))
+
+    def apply_mov(self, index, insn, state, base, mode):
+        if mode == "reg":
+            self.check_read(index, state, insn.src, "mov")
+            value = state.regs[insn.src]
+            if base == "mov32":
+                # Truncation destroys pointer provenance.
+                const = value.const & 0xFFFFFFFF if value.const is not None else None
+                value = RegVal.scalar(const if value.kind == SCALAR else None)
+            state.regs[insn.dst] = value
+        else:
+            imm = insn.imm & (0xFFFFFFFF if base == "mov32" else (1 << 64) - 1)
+            state.regs[insn.dst] = RegVal.scalar(imm)
+
+    def apply_alu(self, index, insn, state, base, mode):
+        alu32 = base.endswith("32")
+        op = base[:-2] if alu32 else base
+        unary = op in ("neg",) or base[:2] in ("be", "le")
+        self.check_read(index, state, insn.dst, "ALU")
+        if mode == "reg" and not unary:
+            self.check_read(index, state, insn.src, "ALU")
+        dst = state.regs[insn.dst]
+        src = state.regs[insn.src] if mode == "reg" else RegVal.scalar(insn.imm)
+        if unary:
+            state.regs[insn.dst] = RegVal.scalar()
+            return
+        if op not in _ALU_BASES and base[:2] not in ("be", "le"):
+            # Unknown mnemonic: treat as an opaque scalar-producing ALU op
+            # (the VM will fault on it anyway).
+            state.regs[insn.dst] = RegVal.scalar()
+            return
+        if not alu32 and op in ("add", "sub") and dst.is_pointer and src.kind == SCALAR:
+            delta = src.const
+            if delta is not None and dst.off is not None:
+                new_off = dst.off + delta if op == "add" else dst.off - delta
+            else:
+                new_off = None
+            state.regs[insn.dst] = RegVal(dst.kind, off=new_off, fd=dst.fd)
+            return
+        if not alu32 and op == "add" and src.is_pointer and dst.kind == SCALAR:
+            off = src.off + dst.const if src.off is not None and dst.const is not None else None
+            state.regs[insn.dst] = RegVal(src.kind, off=off, fd=src.fd)
+            return
+        if dst.kind == SCALAR and src.kind == SCALAR and op in _CONST_OPS and not alu32:
+            if dst.const is not None and src.const is not None:
+                state.regs[insn.dst] = RegVal.scalar(_CONST_OPS[op](dst.const, src.const))
+                return
+        # Pointer arithmetic beyond +/- constant, 32-bit ops on pointers,
+        # and unknown-operand math all degrade to an unknown scalar.
+        state.regs[insn.dst] = RegVal.scalar()
+
+    # -- memory ------------------------------------------------------------
+
+    def region_check(self, index, state, pointer, extra_off, size, writing):
+        """Validate one access through ``pointer``; returns the region kind."""
+        kind = pointer.kind
+        if kind == MAP_VALUE_OR_NULL:
+            self.err(index, "map value may be NULL: null-check the lookup result first")
+        if not pointer.is_pointer:
+            self.err(index, "memory access through non-pointer ({})".format(kind))
+        if pointer.off is None:
+            self.err(index, "pointer offset unknown after join; access cannot be bounded")
+        off = pointer.off + extra_off
+        if kind == CTX_PTR:
+            if writing:
+                self.err(index, "store to read-only context")
+            if off < 0 or off + size > CTX_SIZE:
+                self.err(index, "context access [{}, {}) out of bounds".format(off, off + size))
+        elif kind == STACK_PTR:
+            if off < -STACK_SIZE or off + size > 0:
+                self.err(index, "stack access [{}, {}) out of bounds".format(off, off + size))
+            mask = ((1 << size) - 1) << (STACK_SIZE + off)
+            if writing:
+                state.stack_init |= mask
+            elif state.stack_init & mask != mask:
+                self.err(index, "read of uninitialized stack bytes at r10{:+d}".format(off))
+        elif kind == PKT_PTR:
+            if off < 0 or off + size > state.pkt_valid:
+                self.err(
+                    index,
+                    "packet access [{}, {}) outside verified bounds "
+                    "({} bytes checked against data_end on this path)".format(
+                        off, off + size, state.pkt_valid
+                    ),
+                )
+        elif kind == MAP_VALUE:
+            if off < 0:
+                self.err(index, "negative map-value offset {}".format(off))
+            value_size = self.map_value_size(pointer.fd)
+            if value_size is not None and off + size > value_size:
+                self.err(
+                    index,
+                    "map-value access [{}, {}) exceeds value size {}".format(
+                        off, off + size, value_size
+                    ),
+                )
+        else:  # PKT_END and anything else is never dereferenceable
+            self.err(index, "memory access through {}".format(kind))
+        return kind
+
+    def map_value_size(self, fd):
+        if self.maps is None or fd is None:
+            return None
+        bpf_map = self.maps.get(fd)
+        return None if bpf_map is None else bpf_map.value_size
+
+    def apply_load(self, index, insn, state, size):
+        self.check_read(index, state, insn.src, "load")
+        pointer = state.regs[insn.src]
+        self.region_check(index, state, pointer, insn.off, size, writing=False)
+        result = RegVal.scalar()
+        if pointer.kind == CTX_PTR and size == 8:
+            off = pointer.off + insn.off
+            if off == 0:
+                result = RegVal.pointer(PKT_PTR, 0)
+            elif off == 8:
+                result = RegVal(PKT_END, off=0)
+        state.regs[insn.dst] = result
+
+    def apply_store(self, index, insn, state, size):
+        self.check_read(index, state, insn.dst, "store")
+        self.region_check(index, state, state.regs[insn.dst], insn.off, size, writing=True)
+
+    # -- helpers -----------------------------------------------------------
+
+    def apply_call(self, index, insn, state):
+        helper = insn.imm
+        for reg in range(1, 1 + HELPER_ARG_COUNT[helper]):
+            self.check_read(index, state, reg, "helper")
+        if self.maps is not None:
+            fd_val = state.regs[1]
+            if fd_val.kind != SCALAR or fd_val.const is None:
+                self.err(index, "helper r1 must be a compile-time map fd")
+            bpf_map = self.maps.get(fd_val.const)
+            if bpf_map is None:
+                self.err(index, "unknown map fd {}".format(fd_val.const))
+            self.buffer_arg_check(index, state, 2, bpf_map.key_size, "key")
+            if helper == HELPER_MAP_UPDATE:
+                self.buffer_arg_check(index, state, 3, bpf_map.value_size, "value")
+            fd = fd_val.const
+        else:
+            for reg in range(2, 1 + HELPER_ARG_COUNT[helper]):
+                if not state.regs[reg].is_pointer:
+                    self.err(index, "helper r{} must be a pointer".format(reg))
+            fd = None
+        if helper == HELPER_MAP_LOOKUP:
+            state.regs[0] = RegVal(MAP_VALUE_OR_NULL, off=0, fd=fd)
+        else:
+            state.regs[0] = RegVal.scalar()
+        for reg in range(1, 6):
+            state.regs[reg] = RegVal.uninit()
+
+    def buffer_arg_check(self, index, state, reg, size, what):
+        """The helper reads ``size`` bytes through r``reg``."""
+        pointer = state.regs[reg]
+        if not pointer.is_pointer:
+            self.err(index, "helper {} argument r{} must be a pointer".format(what, reg))
+        self.region_check(index, state, pointer, 0, size, writing=False)
+
+    # -- branch refinement -------------------------------------------------
+
+    def refine_branch(self, state, insn, base, mode, taken):
+        """Facts a conditional branch proves on one outgoing edge."""
+        state = state.copy()
+        if mode == "reg":
+            dst, src = state.regs[insn.dst], state.regs[insn.src]
+            proven = None
+            if dst.kind == PKT_PTR and src.kind == PKT_END and dst.off is not None:
+                if (base, taken) in _PKT_DST_PROOFS:
+                    proven = dst.off
+            elif dst.kind == PKT_END and src.kind == PKT_PTR and src.off is not None:
+                if (base, taken) in _PKT_SRC_PROOFS:
+                    proven = src.off
+            if proven is not None and proven > state.pkt_valid:
+                state.pkt_valid = proven
+        elif insn.imm == 0 and base in ("jeq", "jne"):
+            reg = state.regs[insn.dst]
+            if reg.kind == MAP_VALUE_OR_NULL:
+                null_edge = (base == "jeq") == taken
+                if null_edge:
+                    state.regs[insn.dst] = RegVal.scalar(0)
+                else:
+                    state.regs[insn.dst] = RegVal.pointer(MAP_VALUE, reg.off or 0, fd=reg.fd)
+        return state

@@ -351,7 +351,7 @@ class BaselineHost:
     def tcp_recv(self, ctx, conn, max_bytes):
         data = self.engine.app_recv(conn, max_bytes, self.sim.now)
         return data
-        yield  # pragma: no cover - keeps this a generator
+        yield  # pragma: no cover - keeps this a generator; sim-lint: allow
 
     def tcp_close(self, ctx, conn):
         costs = self.personality.costs

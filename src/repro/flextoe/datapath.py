@@ -11,6 +11,7 @@ FPC thread.
 
 from collections import deque
 
+from repro.analysis import sanitizer
 from repro.flextoe.ctxq import ContextQueuePair
 from repro.flextoe.descriptors import SegWork, WORK_RX, WORK_TX
 from repro.flextoe.scheduler import CarouselScheduler
@@ -109,10 +110,21 @@ class FlexToeDatapath:
         self.rx_frames_seen = 0
         self.rx_frames_dropped_full = 0
 
+        sanitizer.maybe_install_from_env()
         self._assign_fpcs()
         self.mac.rx_handler = self._on_mac_rx
 
     # -- construction ------------------------------------------------------
+
+    def _spawn(self, fpc, program, name, stage_kind, flow_group=None):
+        """Spawn a stage process, tagging it with ownership context when
+        the runtime sanitizer is active (REPRO_SANITIZE=1)."""
+        if sanitizer.enabled():
+            def factory(thread, _p=program, _k=stage_kind, _g=flow_group):
+                return sanitizer.guard_process(_p(thread), _k, _g)
+
+            return fpc.spawn(factory, name=name)
+        return fpc.spawn(program, name=name)
 
     def _assign_fpcs(self):
         config = self.config
@@ -133,19 +145,19 @@ class FlexToeDatapath:
             self.protocol_stages.append(stage)
             fpc = island.claim_fpc()
             for _ in range(threads):
-                fpc.spawn(stage.program, name="proto-g%d" % group)
+                self._spawn(fpc, stage.program, "proto-g%d" % group, "proto", group)
             for replica in range(config.pre_replicas):
                 pre = PreStage(self, replica_id=replica)
                 self.pre_stages.append(pre)
                 pre_fpc = island.claim_fpc()
                 for _ in range(threads):
-                    pre_fpc.spawn(pre.program, name="pre-g%d-r%d" % (group, replica))
+                    self._spawn(pre_fpc, pre.program, "pre-g%d-r%d" % (group, replica), "pre")
             for replica in range(config.post_replicas):
                 post = PostStage(self, group, replica_id=replica)
                 self.post_stages.append(post)
                 post_fpc = island.claim_fpc()
                 for _ in range(threads):
-                    post_fpc.spawn(post.program, name="post-g%d-r%d" % (group, replica))
+                    self._spawn(post_fpc, post.program, "post-g%d-r%d" % (group, replica), "post", group)
         # Service island: DMA managers, NBI, context queues, scheduler.
         service = chip.islands[-1]
         for replica in range(config.dma_replicas):
@@ -153,16 +165,16 @@ class FlexToeDatapath:
             self.dma_stages.append(dma)
             fpc = service.claim_fpc()
             for _ in range(threads):
-                fpc.spawn(dma.program, name="dma-r%d" % replica)
+                self._spawn(fpc, dma.program, "dma-r%d" % replica, "dma")
         nbi_fpc = service.claim_fpc()
         for _ in range(max(1, threads // 2)):
-            nbi_fpc.spawn(self.nbi_stage.program, name="nbi")
+            self._spawn(nbi_fpc, self.nbi_stage.program, "nbi", "nbi")
         ctx_fpc = service.claim_fpc()
-        ctx_fpc.spawn(self.ctx_stage.atx_program, name="ctx-atx")
+        self._spawn(ctx_fpc, self.ctx_stage.atx_program, "ctx-atx", "ctx")
         for _ in range(max(1, threads - 1)):
-            ctx_fpc.spawn(self.ctx_stage.arx_program, name="ctx-arx")
+            self._spawn(ctx_fpc, self.ctx_stage.arx_program, "ctx-arx", "ctx")
         sched_fpc = service.claim_fpc()
-        sched_fpc.spawn(self.scheduler.program, name="sch")
+        self._spawn(sched_fpc, self.scheduler.program, "sch", "sch")
 
     def _assign_run_to_completion(self):
         """Table 3 baseline: the whole TCP data-path on one FPC thread.
@@ -221,14 +233,16 @@ class FlexToeDatapath:
                 return
             yield from dma._process(thread, work)
 
-        worker_fpc.spawn(worker, name="run-to-completion")
+        # The whole data-path runs on this one thread, so it legitimately
+        # carries protocol ownership for the single flow group.
+        self._spawn(worker_fpc, worker, "run-to-completion", "proto", 0)
         nbi_fpc = island.claim_fpc()
-        nbi_fpc.spawn(self.nbi_stage.program, name="nbi")
+        self._spawn(nbi_fpc, self.nbi_stage.program, "nbi", "nbi")
         ctx_fpc = island.claim_fpc()
-        ctx_fpc.spawn(self.ctx_stage.atx_program, name="ctx-atx")
-        ctx_fpc.spawn(self.ctx_stage.arx_program, name="ctx-arx")
+        self._spawn(ctx_fpc, self.ctx_stage.atx_program, "ctx-atx", "ctx")
+        self._spawn(ctx_fpc, self.ctx_stage.arx_program, "ctx-arx", "ctx")
         sched_fpc = island.claim_fpc()
-        sched_fpc.spawn(self.scheduler.program, name="sch")
+        self._spawn(sched_fpc, self.scheduler.program, "sch", "sch")
 
     # -- runtime entry points ----------------------------------------------
 
@@ -279,12 +293,16 @@ class FlexToeDatapath:
     def install_connection(self, record):
         self.conn_table.install(record)
         self.lookup_engine.insert(record.four_tuple, record.index)
+        if sanitizer.enabled():
+            sanitizer.register(record.proto, record.pre.flow_group)
 
     def remove_connection(self, index):
         record = self.conn_table.remove(index)
         if record is not None:
             self.lookup_engine.remove(record.four_tuple)
             self.scheduler.remove_flow(index)
+            if sanitizer.enabled():
+                sanitizer.unregister(record.proto)
         for stage in self.protocol_stages:
             stage.state_cache.invalidate(index)
         return record

@@ -1,96 +1,30 @@
 """Load-time verification of XDP VM programs.
 
-A deliberately small subset of the kernel verifier, enough to give the
-same operational guarantees the NFP offload needs (paper §3.3): programs
-terminate (no back-edges, bounded length), cannot call unknown helpers,
-always end in ``exit``, and never read obviously-uninitialized
-registers. Memory safety is additionally enforced at run time by the VM.
+The actual analysis lives in :mod:`repro.analysis.verifier`: a
+control-flow-graph + worklist dataflow verifier with per-path register
+initialization (facts meet at branch joins), scalar-vs-pointer register
+typing, bounds checks on context/stack/packet/map-value accesses,
+null-check enforcement for map lookups, unreachable-code detection, and
+a path-sensitive "every path reaches ``exit``" guarantee.
+
+This module keeps the historical import surface
+(``from repro.xdp.verifier import verify, VerifierError``) stable for
+the adapter and external callers. Memory safety is additionally
+enforced at run time by the VM, as defense in depth.
 """
 
-from repro.xdp.vm import HELPER_MAP_DELETE, HELPER_MAP_LOOKUP, HELPER_MAP_UPDATE
+from repro.analysis.verifier import (
+    HELPER_ARG_COUNT,
+    MAX_PROGRAM_LEN,
+    VALID_HELPERS,
+    VerifierError,
+    verify,
+)
 
-MAX_PROGRAM_LEN = 4096
-VALID_HELPERS = {HELPER_MAP_LOOKUP, HELPER_MAP_UPDATE, HELPER_MAP_DELETE}
-
-#: Registers each helper reads (r1 = map fd, r2 = key, ...).
-HELPER_ARG_COUNT = {
-    HELPER_MAP_LOOKUP: 2,
-    HELPER_MAP_UPDATE: 3,
-    HELPER_MAP_DELETE: 2,
-}
-
-
-class VerifierError(Exception):
-    pass
-
-
-def verify(program, maps=None):
-    """Raise :class:`VerifierError` if the program is unacceptable."""
-    if not program:
-        raise VerifierError("empty program")
-    if len(program) > MAX_PROGRAM_LEN:
-        raise VerifierError("program too long ({} insns)".format(len(program)))
-
-    has_exit = False
-    # Conservative straight-line register-initialization tracking:
-    # r1 (ctx) and r10 (frame pointer) start initialized.
-    initialized = {1, 10}
-    for index, insn in enumerate(program):
-        op = insn.op
-        base, _, mode = op.partition(".")
-        if base == "exit":
-            has_exit = True
-            continue
-        if base == "call":
-            if insn.imm not in VALID_HELPERS:
-                raise VerifierError("insn {}: unknown helper {}".format(index, insn.imm))
-            for reg in range(1, 1 + HELPER_ARG_COUNT[insn.imm]):
-                if reg not in initialized:
-                    raise VerifierError(
-                        "insn {}: helper reads uninitialized r{}".format(index, reg)
-                    )
-            initialized.add(0)  # r0 = return value
-            # r1-r5 are clobbered by calls.
-            initialized -= {1, 2, 3, 4, 5}
-            continue
-        if base == "ja" or base in (
-            "jeq", "jne", "jgt", "jge", "jlt", "jle", "jset", "jsgt", "jsge", "jslt", "jsle"
-        ):
-            target = index + 1 + insn.off
-            if insn.off < 0:
-                raise VerifierError("insn {}: backward jump (loops rejected)".format(index))
-            if not 0 <= target <= len(program):
-                raise VerifierError("insn {}: jump target {} out of range".format(index, target))
-            if base != "ja":
-                if insn.dst not in initialized:
-                    raise VerifierError("insn {}: jump reads uninitialized r{}".format(index, insn.dst))
-                if mode == "reg" and insn.src not in initialized:
-                    raise VerifierError("insn {}: jump reads uninitialized r{}".format(index, insn.src))
-            continue
-        if base in ("mov", "mov32", "lddw"):
-            if mode == "reg" and insn.src not in initialized:
-                raise VerifierError("insn {}: mov reads uninitialized r{}".format(index, insn.src))
-            initialized.add(insn.dst)
-            continue
-        if base.startswith("ldx"):
-            if insn.src not in initialized:
-                raise VerifierError("insn {}: load through uninitialized r{}".format(index, insn.src))
-            initialized.add(insn.dst)
-            continue
-        if base.startswith("stx"):
-            if insn.dst not in initialized or insn.src not in initialized:
-                raise VerifierError("insn {}: store uses uninitialized register".format(index))
-            continue
-        if base.startswith("st"):
-            if insn.dst not in initialized:
-                raise VerifierError("insn {}: store through uninitialized r{}".format(index, insn.dst))
-            continue
-        # ALU / byteswap: dst must be initialized (it is read-modify-write).
-        if insn.dst not in initialized:
-            raise VerifierError("insn {}: ALU reads uninitialized r{}".format(index, insn.dst))
-        if mode == "reg" and insn.src not in initialized:
-            raise VerifierError("insn {}: ALU reads uninitialized r{}".format(index, insn.src))
-        initialized.add(insn.dst)
-    if not has_exit:
-        raise VerifierError("program has no exit instruction")
-    return True
+__all__ = [
+    "HELPER_ARG_COUNT",
+    "MAX_PROGRAM_LEN",
+    "VALID_HELPERS",
+    "VerifierError",
+    "verify",
+]

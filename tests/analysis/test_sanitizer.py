@@ -1,0 +1,122 @@
+"""Runtime ownership sanitizer (REPRO_SANITIZE)."""
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.flextoe.state import ProtocolState
+
+
+@pytest.fixture
+def sanitized():
+    sanitizer.install()
+    try:
+        yield
+    finally:
+        sanitizer.uninstall()
+
+
+def _run_wrapped(factory, stage, flow_group=None):
+    wrapped = sanitizer.guard_process(factory(), stage, flow_group)
+    return next(wrapped)
+
+
+def test_install_is_idempotent_and_uninstall_restores(sanitized):
+    sanitizer.install()  # second install is a no-op
+    assert sanitizer.enabled()
+    state = ProtocolState()
+    state.seq = 1  # no stage context: allowed
+    sanitizer.uninstall()
+    assert not sanitizer.enabled()
+    assert ProtocolState.__setattr__ is object.__setattr__
+    sanitizer.install()  # restore for the fixture's uninstall
+
+
+def test_non_protocol_stage_write_raises(sanitized):
+    state = ProtocolState()
+    sanitizer.register(state, flow_group=0)
+
+    def pre_stage():
+        state.seq = 99
+        yield "unreached"
+
+    with pytest.raises(sanitizer.SanitizerError, match="only the atomic protocol stage"):
+        _run_wrapped(pre_stage, "pre")
+
+
+def test_cross_flow_group_write_raises(sanitized):
+    state = ProtocolState()
+    sanitizer.register(state, flow_group=2)
+
+    def wrong_group():
+        state.ack = 5
+        yield "unreached"
+
+    with pytest.raises(sanitizer.SanitizerError, match="cross-flow-group"):
+        _run_wrapped(wrong_group, "proto", flow_group=1)
+
+
+def test_owning_protocol_stage_write_allowed(sanitized):
+    state = ProtocolState()
+    sanitizer.register(state, flow_group=2)
+
+    def owner():
+        state.ack = 7
+        yield "ok"
+
+    assert _run_wrapped(owner, "proto", flow_group=2) == "ok"
+    assert state.ack == 7
+
+
+def test_unregistered_state_is_not_guarded(sanitized):
+    state = ProtocolState()  # never registered: e.g. a scratch record
+
+    def pre_stage():
+        state.seq = 1
+        yield "ok"
+
+    assert _run_wrapped(pre_stage, "pre") == "ok"
+
+
+def test_owner_cleared_while_suspended(sanitized):
+    state = ProtocolState()
+    sanitizer.register(state, flow_group=0)
+
+    def proc():
+        yield "suspend"
+
+    wrapped = sanitizer.guard_process(proc(), "pre")
+    next(wrapped)
+    assert sanitizer.current_owner() is None
+    state.seq = 3  # control-plane write between stage steps: allowed
+
+
+def test_unregister_drops_the_guard(sanitized):
+    state = ProtocolState()
+    sanitizer.register(state, flow_group=0)
+    sanitizer.unregister(state)
+
+    def pre_stage():
+        state.seq = 1
+        yield "ok"
+
+    assert _run_wrapped(pre_stage, "pre") == "ok"
+
+
+def test_end_to_end_flextoe_run_is_clean(sanitized):
+    # A real echo RPC exchange over the sanitized pipeline: every stage
+    # process is wrapped, connection state is registered at offload, and
+    # no ownership violation fires.
+    from repro.apps import EchoServer
+    from repro.apps.rpc import ClosedLoopClient
+    from repro.harness import Testbed
+
+    bed = Testbed(seed=7)
+    server = bed.add_flextoe_host("server")
+    client = bed.add_flextoe_host("client")
+    bed.seed_all_arp()
+    echo = EchoServer(server.new_context(), 7000, request_size=64)
+    bed.sim.process(echo.run(), name="echo")
+    rpc = ClosedLoopClient(client.new_context(), server.ip, 7000, 64, 64, warmup=1)
+    proc = bed.sim.process(rpc.run(5), name="rpc")
+    bed.sim.run(until=proc)
+    assert rpc.histogram.count >= 4

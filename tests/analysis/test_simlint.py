@@ -1,0 +1,66 @@
+"""Sim-process lint: wall-clock, global RNG, non-event yields."""
+
+import textwrap
+
+from repro.analysis.simlint import lint_source, lint_tree
+
+FIXTURE = textwrap.dedent(
+    """
+    import random
+    import time
+
+    SEEDED = random.Random(7)          # allowed: private seeded generator
+
+    def bad_process(sim):
+        jitter = random.random()       # global-rng
+        start = time.time()            # wall-clock
+        yield                          # yield-non-event (bare)
+        yield 5                        # yield-non-event (literal)
+
+    def harness():
+        return time.time()             # sim-lint: allow
+
+    def good_process(sim, rng):
+        delay = rng.stream("net").uniform(0, 1)
+        yield sim.timeout(delay)
+    """
+)
+
+
+def test_fixture_findings_in_order():
+    findings = lint_source(FIXTURE, "fixture.py")
+    assert [f.code for f in findings] == [
+        "global-rng",
+        "wall-clock",
+        "yield-non-event",
+        "yield-non-event",
+    ]
+
+
+def test_pragma_suppresses_finding():
+    findings = lint_source("import time\nt = time.time()  # sim-lint: allow\n", "ok.py")
+    assert findings == []
+
+
+def test_seeded_rng_construction_allowed():
+    findings = lint_source(
+        "import random\nrng = random.Random(3)\nsys_rng = random.SystemRandom()\n", "rng.py"
+    )
+    assert findings == []
+
+
+def test_nested_generator_not_double_reported():
+    source = textwrap.dedent(
+        """
+        def outer(sim):
+            def inner():
+                yield
+            yield sim.timeout(1)
+        """
+    )
+    findings = lint_source(source, "nested.py")
+    assert [f.code for f in findings] == ["yield-non-event"]
+
+
+def test_repro_tree_is_clean():
+    assert lint_tree() == []

@@ -1,0 +1,131 @@
+"""Stage read/write-set extraction and the ownership race lint."""
+
+import textwrap
+
+from repro.analysis.stagelint import (
+    extract_access_sets,
+    lint_source,
+    lint_stages,
+    partition_ownership,
+)
+
+GOOD_STAGE = textwrap.dedent(
+    """
+    class PreStage:
+        def program(self, thread):
+            while True:
+                work = yield self.dp.pre_in.get()
+                record = self.dp.conn_table.get(work.conn_index)
+                group = record.pre.flow_group
+                yield self.dp.proto_rings[group].put(work)
+
+    class ProtocolStage:
+        def program(self, thread):
+            while True:
+                work = yield self.ring.get()
+                record = self.dp.conn_table.get(work.conn_index)
+                state = record.proto
+                state.seq += 1
+                state.ack = work.seg_ack
+    """
+)
+
+RACY_STAGE = textwrap.dedent(
+    """
+    class PreStage:
+        def program(self, thread):
+            while True:
+                work = yield self.dp.pre_in.get()
+                record = self.dp.conn_table.get(work.conn_index)
+                record.proto.seq = 0           # race: pre writes proto state
+                state = record.proto
+                state.ack += 1                 # race via alias
+                record.pre.flow_group = 3      # pre partition is immutable
+
+    class PostStage:
+        def program(self, thread):
+            while True:
+                work = yield self.ring.get()
+                record = self.dp.conn_table.get(work.conn_index)
+                record.post.cnt_ackb += 1      # legitimate: post owns post
+    """
+)
+
+RACY_MODULE = textwrap.dedent(
+    """
+    class CountingModule:
+        def handle(self, frame, metadata, record):
+            record.post.cnt_ackb += 1          # modules never touch state
+            return frame
+    """
+)
+
+
+def test_partition_ownership_parses_slots():
+    ownership = partition_ownership()
+    assert ownership["flow_group"] == "pre"
+    assert ownership["seq"] == "proto"
+    assert ownership["ack"] == "proto"
+    assert ownership["cnt_ackb"] == "post"
+    assert ownership["rx_region"] == "post"
+
+
+def test_access_sets_track_aliases_and_partitions():
+    access = extract_access_sets(GOOD_STAGE, "good.py")
+    pre = access["PreStage.program"]
+    assert "pre.flow_group" in pre["reads"]
+    assert pre["writes"] == set()
+    proto = access["ProtocolStage.program"]
+    assert {"proto.seq", "proto.ack"} <= proto["writes"]
+    assert proto["role"] == "protocol"
+
+
+def test_good_stage_is_clean():
+    _, findings = lint_source(GOOD_STAGE, "good.py")
+    assert findings == []
+
+
+def test_racy_stage_flagged():
+    _, findings = lint_source(RACY_STAGE, "racy.py")
+    codes = sorted(f.code for f in findings)
+    assert codes == ["stage-writes-pre", "stage-writes-proto", "stage-writes-proto"]
+    # PostStage writing its own partition is not flagged.
+    assert not any("PostStage" in f.message for f in findings)
+
+
+def test_module_writes_flagged():
+    _, findings = lint_source(RACY_MODULE, "module.py")
+    assert [f.code for f in findings] == ["module-writes-state"]
+    assert "one-shot" in findings[0].message
+
+
+def test_unknown_attribute_flagged():
+    source = textwrap.dedent(
+        """
+        class ProtocolStage:
+            def program(self, thread):
+                record.proto.not_a_slot = 1
+                yield None
+        """
+    )
+    _, findings = lint_source(source, "typo.py")
+    assert [f.code for f in findings] == ["unknown-state-attr"]
+
+
+def test_state_parameter_convention_is_protocol_owned():
+    # A parameter named ``state`` is the connection's ProtocolState;
+    # writes through it from a non-protocol stage are races.
+    source = textwrap.dedent(
+        """
+        class DmaStage:
+            def _process(self, thread, work, state):
+                state.next_ts = 0
+                yield None
+        """
+    )
+    _, findings = lint_source(source, "dma.py")
+    assert [f.code for f in findings] == ["stage-writes-proto"]
+
+
+def test_real_data_path_is_clean():
+    assert lint_stages() == []

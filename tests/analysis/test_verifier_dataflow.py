@@ -1,0 +1,230 @@
+"""The CFG verifier's abstract domain and path-sensitive checks."""
+
+import pytest
+
+from repro.analysis.dataflow import (
+    MAP_VALUE,
+    MAP_VALUE_OR_NULL,
+    PKT_PTR,
+    SCALAR,
+    STACK_PTR,
+    UNINIT,
+    AbsState,
+    RegVal,
+)
+from repro.analysis.verifier import VerifierError, verify
+from repro.xdp import assemble
+from repro.xdp.builtins import classifier_asm_program, firewall_asm_program, null_asm_program
+
+
+# -- RegVal / AbsState lattice ------------------------------------------------
+
+
+def test_meet_equal_values_is_identity():
+    value = RegVal.scalar(7)
+    assert value.meet(RegVal.scalar(7)) == value
+
+
+def test_meet_differing_constants_forgets_the_constant():
+    met = RegVal.scalar(7).meet(RegVal.scalar(9))
+    assert met.kind == SCALAR
+    assert met.const is None
+
+
+def test_meet_differing_kinds_is_uninit():
+    met = RegVal.scalar(7).meet(RegVal.pointer(PKT_PTR, 0))
+    assert met.kind == UNINIT
+
+
+def test_meet_checked_and_unchecked_map_value():
+    checked = RegVal.pointer(MAP_VALUE, 0, fd=1)
+    unchecked = RegVal(MAP_VALUE_OR_NULL, off=0, fd=1)
+    assert checked.meet(unchecked).kind == MAP_VALUE_OR_NULL
+    assert unchecked.meet(checked).kind == MAP_VALUE_OR_NULL
+
+
+def test_meet_differing_pointer_offsets_forgets_offset():
+    met = RegVal.pointer(STACK_PTR, -4).meet(RegVal.pointer(STACK_PTR, -8))
+    assert met.kind == STACK_PTR
+    assert met.off is None
+
+
+def test_state_meet_intersects_stack_and_packet_facts():
+    a = AbsState(stack_init=0b1111, pkt_valid=34)
+    b = AbsState(stack_init=0b1100, pkt_valid=14)
+    met = a.meet(b)
+    assert met.stack_init == 0b1100
+    assert met.pkt_valid == 14
+
+
+def test_default_entry_state():
+    state = AbsState()
+    assert state.regs[1].kind == "ctx_ptr"
+    assert state.regs[10].kind == STACK_PTR
+    assert state.regs[0].is_uninit
+
+
+# -- end-to-end acceptance ----------------------------------------------------
+
+
+def test_builtin_programs_verify():
+    for factory in (null_asm_program, firewall_asm_program, classifier_asm_program):
+        program, maps = factory()
+        assert verify(program, maps)
+
+
+def test_packet_access_requires_bounds_proof():
+    # Dereferencing packet data without comparing against data_end.
+    source = """
+        ldxdw r2, [r1+0]
+        ldxb r0, [r2+0]
+        exit
+    """
+    with pytest.raises(VerifierError, match="outside verified bounds"):
+        verify(assemble(source))
+
+
+def test_packet_access_inside_proven_bounds_accepted():
+    source = """
+        ldxdw r2, [r1+0]
+        ldxdw r3, [r1+8]
+        mov r4, r2
+        add r4, 14
+        jgt r4, r3, out
+        ldxb r0, [r2+13]
+        exit
+    out:
+        mov r0, 1
+        exit
+    """
+    assert verify(assemble(source))
+
+
+def test_packet_access_beyond_proven_bounds_rejected():
+    source = """
+        ldxdw r2, [r1+0]
+        ldxdw r3, [r1+8]
+        mov r4, r2
+        add r4, 14
+        jgt r4, r3, out
+        ldxb r0, [r2+14]
+        exit
+    out:
+        mov r0, 1
+        exit
+    """
+    with pytest.raises(VerifierError, match="outside verified bounds"):
+        verify(assemble(source))
+
+
+def test_map_lookup_requires_null_check():
+    source = """
+        mov r5, 0
+        stxw [r10-4], r5
+        lddw r1, map:1
+        mov r2, r10
+        sub r2, 4
+        call 1
+        ldxw r0, [r0+0]
+        exit
+    """
+    with pytest.raises(VerifierError, match="may be NULL"):
+        verify(assemble(source))
+
+
+def test_map_lookup_after_null_check_accepted():
+    source = """
+        mov r5, 0
+        stxw [r10-4], r5
+        lddw r1, map:1
+        mov r2, r10
+        sub r2, 4
+        call 1
+        jeq r0, 0, out
+        ldxw r0, [r0+0]
+        exit
+    out:
+        mov r0, 1
+        exit
+    """
+    assert verify(assemble(source))
+
+
+def test_uninitialized_stack_read_rejected():
+    source = """
+        ldxw r0, [r10-4]
+        exit
+    """
+    with pytest.raises(VerifierError, match="uninitialized stack"):
+        verify(assemble(source))
+
+
+def test_stack_key_must_cover_key_size():
+    # With map metadata, the helper's key argument is checked against
+    # key_size (4); only 1 byte of the key was initialized.
+    from repro.xdp import BpfHashMap
+
+    source = """
+        mov r5, 0
+        stxb [r10-4], r5
+        lddw r1, map:1
+        mov r2, r10
+        sub r2, 4
+        call 1
+        mov r0, 1
+        exit
+    """
+    with pytest.raises(VerifierError, match="uninitialized stack"):
+        verify(assemble(source), {1: BpfHashMap(4, 8, 16)})
+
+
+def test_map_value_access_bounded_by_value_size():
+    from repro.xdp import BpfHashMap
+
+    source = """
+        mov r5, 0
+        stxw [r10-4], r5
+        lddw r1, map:1
+        mov r2, r10
+        sub r2, 4
+        call 1
+        jeq r0, 0, out
+        ldxdw r3, [r0+8]
+        exit
+    out:
+        mov r0, 1
+        exit
+    """
+    with pytest.raises(VerifierError, match="exceeds value size"):
+        verify(assemble(source), {1: BpfHashMap(4, 8, 16)})
+
+
+def test_context_is_read_only_and_bounded():
+    with pytest.raises(VerifierError, match="read-only context"):
+        verify(assemble("mov r2, 1\nstxw [r1+0], r2\nmov r0, 1\nexit"))
+    with pytest.raises(VerifierError, match="out of bounds"):
+        verify(assemble("ldxdw r2, [r1+16]\nmov r0, 1\nexit"))
+
+
+def test_unreachable_code_rejected():
+    with pytest.raises(VerifierError, match="unreachable"):
+        verify(assemble("mov r0, 1\nja 1\nmov r0, 2\nexit"))
+
+
+def test_mov32_truncation_destroys_pointer_provenance():
+    # A 32-bit move of a packet pointer must not remain dereferenceable.
+    source = """
+        ldxdw r2, [r1+0]
+        ldxdw r3, [r1+8]
+        mov r4, r2
+        add r4, 14
+        jgt r4, r3, out
+        mov32 r5, r2
+        ldxb r0, [r5+0]
+        exit
+    out:
+        mov r0, 1
+        exit
+    """
+    with pytest.raises(VerifierError, match="non-pointer"):
+        verify(assemble(source))

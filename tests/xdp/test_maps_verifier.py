@@ -117,3 +117,52 @@ def test_verifier_tracks_helper_clobbers():
 def test_verifier_rejects_out_of_range_jump():
     with pytest.raises(VerifierError):
         verify(assemble("mov r0, 1\nja 100\nexit"))
+
+
+def test_verifier_rejects_jump_one_past_the_end():
+    # Regression: the straight-line verifier bounds-checked targets with
+    # ``target <= len(program)``, accepting a conditional jump to the
+    # index one past the last instruction — a path that falls off the
+    # end without ever reaching exit.
+    from repro.xdp.vm import Insn
+
+    program = [
+        Insn("jeq.imm", dst=1, imm=0, off=2),  # target 3 == len(program)
+        Insn("mov.imm", dst=0, imm=1),
+        Insn("exit"),
+    ]
+    with pytest.raises(VerifierError, match="leaves the program|never reaches exit"):
+        verify(program)
+
+
+def test_verifier_rejects_one_armed_initialization_at_join():
+    # Regression: the straight-line verifier scanned instructions in
+    # program order, so a register initialized on only one branch arm
+    # looked initialized after the join. The dataflow meet must reject
+    # the read of r2 on the path that skipped ``mov r2, 7``.
+    source = """
+        mov r0, 1
+        jeq r0, 0, skip
+        mov r2, 7
+    skip:
+        add r0, r2
+        exit
+    """
+    with pytest.raises(VerifierError, match="uninitialized r2"):
+        verify(assemble(source))
+
+
+def test_verifier_accepts_both_armed_initialization_at_join():
+    # The sound dual: when every path initializes r2, the meet keeps it.
+    source = """
+        mov r0, 1
+        jeq r0, 0, other
+        mov r2, 7
+        ja done
+    other:
+        mov r2, 9
+    done:
+        add r0, r2
+        exit
+    """
+    assert verify(assemble(source))
