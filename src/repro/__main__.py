@@ -7,6 +7,10 @@ simulation (NIC pipeline, control plane, baselines, switch) is healthy.
 ``python -m repro lint`` instead runs the static analysis suite
 (:mod:`repro.analysis.cli`): XDP verifier, stage race lint, and
 sim-process lint.
+
+``python -m repro faults`` runs a named deterministic fault plan
+against a stack pair and asserts the delivery/liveness invariants
+(:mod:`repro.faults.cli`).
 """
 
 import sys
@@ -56,6 +60,10 @@ if __name__ == "__main__":
             from repro.analysis.cli import main as lint_main
 
             sys.exit(lint_main(sys.argv[2:]))
-        print("usage: python -m repro [lint ...]  (no argument runs the self-demo)")
+        if sys.argv[1] == "faults":
+            from repro.faults.cli import main as faults_main
+
+            sys.exit(faults_main(sys.argv[2:]))
+        print("usage: python -m repro [lint|faults ...]  (no argument runs the self-demo)")
         sys.exit(2)
     main()

@@ -281,6 +281,7 @@ class BaselineHost:
         self._rx_queue = Store(sim, name="{}-rxq".format(name))
         self.jitter_rng = random.Random(0xC0FFEE ^ hash(name))
         self._rx_rr = 0
+        self.csum_drops = 0
         self._kernel_lock = Resource(sim, capacity=1) if personality.kernel_lock else None
         self._nic_toe = (
             Resource(sim, capacity=personality.nic_tcp_capacity) if personality.nic_tcp else None
@@ -399,6 +400,12 @@ class BaselineHost:
     # -- receive path ---------------------------------------------------------
 
     def _on_rx_frame(self, frame):
+        # NIC checksum offload: payloads corrupted in flight (marked
+        # ``csum_bad`` by repro.faults) fail verification and are dropped
+        # before the stack sees them, as on real hardware.
+        if frame.get_meta("csum_bad"):
+            self.csum_drops += 1
+            return
         delay = self.personality.costs.interrupt_delay_ns
         if delay:
             # Interrupt + softirq scheduling latency: delays delivery

@@ -1,0 +1,87 @@
+"""The injection log: a deterministic record of every fault event.
+
+Every action the fault layer takes — a dropped frame, a stalled FPC, a
+flushed cache — is appended here with its simulated timestamp. Two runs
+with the same seed and plan must produce *byte-identical* logs; the
+:meth:`InjectionLog.digest` hash is what the determinism regression test
+compares. To keep that guarantee, records may only contain values that
+are themselves deterministic: sim time, wire header fields, configured
+parameters. In particular ``Frame.frame_id`` comes from a process-global
+counter and MUST NOT appear in records (see :func:`describe_frame`).
+"""
+
+import hashlib
+import json
+
+from repro.proto.tcp import flags_to_str
+
+
+def describe_frame(frame):
+    """A deterministic, human-readable one-liner for a frame.
+
+    Uses only wire fields (ports, seq/ack, flags, payload length) so the
+    description is identical across runs regardless of allocation order.
+    """
+    if frame.tcp is not None:
+        return "tcp {}>{} seq={} ack={} flags={} len={}".format(
+            frame.tcp.sport,
+            frame.tcp.dport,
+            frame.tcp.seq,
+            frame.tcp.ack,
+            flags_to_str(frame.tcp.flags),
+            len(frame.payload),
+        )
+    if frame.arp is not None:
+        return "arp"
+    return "raw len={}".format(len(frame.payload))
+
+
+class InjectionLog:
+    """Append-only record of fault events, hashable for determinism tests."""
+
+    def __init__(self):
+        self.records = []
+
+    def record(self, t_ns, plan, fault, action, target, detail=""):
+        """Append one event.
+
+        ``plan``/``fault`` are the plan and spec labels, ``action`` is a
+        short verb ("drop", "stall", "flush", ...), ``target`` names the
+        affected component, ``detail`` is a deterministic string.
+        """
+        self.records.append(
+            {
+                "t_ns": int(t_ns),
+                "plan": plan,
+                "fault": fault,
+                "action": action,
+                "target": target,
+                "detail": detail,
+            }
+        )
+
+    def __len__(self):
+        return len(self.records)
+
+    def counts(self):
+        """{(fault, action): n} summary of the log."""
+        out = {}
+        for rec in self.records:
+            key = (rec["fault"], rec["action"])
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def actions(self, action):
+        """All records with the given action verb."""
+        return [rec for rec in self.records if rec["action"] == action]
+
+    def to_jsonable(self):
+        return list(self.records)
+
+    def to_json(self, indent=None):
+        return json.dumps(self.records, sort_keys=True, indent=indent)
+
+    def digest(self):
+        """SHA-256 over the canonical JSON encoding of the log."""
+        payload = json.dumps(self.records, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

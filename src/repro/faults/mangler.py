@@ -1,0 +1,74 @@
+"""Deterministic segment-sequence mangling for conformance fuzzing.
+
+Where the live fault layer perturbs frames inside a running testbed,
+:class:`SegmentMangler` perturbs an *ordered list* of abstract segments
+before they are fed directly into ``proto_logic`` — the shape the
+property-based conformance suite needs: hypothesis generates a payload
+split and a seed, the mangler derives a reproducible schedule of
+loss / duplication / reordering / corruption, and the test asserts the
+protocol logic's invariants over the mangled arrival order.
+
+The mangler is transport-agnostic: it reorders opaque items and calls
+``corrupt_fn(item)`` to produce a corrupted variant (e.g. flip one
+payload byte and mark the segment), so the same machinery can fuzz any
+segment representation.
+"""
+
+
+class MangleOp:
+    """One recorded mangling decision (for failure diagnostics)."""
+
+    __slots__ = ("index", "op", "arg")
+
+    def __init__(self, index, op, arg=None):
+        self.index = index
+        self.op = op
+        self.arg = arg
+
+    def __repr__(self):
+        return "<{}@{}{}>".format(self.op, self.index, "" if self.arg is None else ":{}".format(self.arg))
+
+
+class SegmentMangler:
+    """Applies a seeded schedule of wire faults to a segment list."""
+
+    def __init__(self, rng, loss_p=0.0, dup_p=0.0, reorder_p=0.0, corrupt_p=0.0, reorder_span=3):
+        self.rng = rng
+        self.loss_p = loss_p
+        self.dup_p = dup_p
+        self.reorder_p = reorder_p
+        self.corrupt_p = corrupt_p
+        self.reorder_span = max(1, reorder_span)
+        self.ops = []
+
+    def mangle(self, segments, corrupt_fn=None):
+        """Return a new arrival order with faults applied.
+
+        Order of decisions per original segment: loss, corruption,
+        duplication; reordering then displaces survivors by up to
+        ``reorder_span`` positions. ``self.ops`` records every decision
+        for shrink-friendly failure messages.
+        """
+        self.ops = []
+        working = []
+        for index, segment in enumerate(segments):
+            if self.loss_p and self.rng.random() < self.loss_p:
+                self.ops.append(MangleOp(index, "drop"))
+                continue
+            item = segment
+            if corrupt_fn is not None and self.corrupt_p and self.rng.random() < self.corrupt_p:
+                item = corrupt_fn(segment)
+                self.ops.append(MangleOp(index, "corrupt"))
+            working.append(item)
+            if self.dup_p and self.rng.random() < self.dup_p:
+                self.ops.append(MangleOp(index, "dup"))
+                working.append(item)
+        if self.reorder_p:
+            for position in range(len(working)):
+                if self.rng.random() < self.reorder_p:
+                    offset = self.rng.randint(1, self.reorder_span)
+                    other = min(len(working) - 1, position + offset)
+                    if other != position:
+                        self.ops.append(MangleOp(position, "swap", other))
+                        working[position], working[other] = working[other], working[position]
+        return working

@@ -1,0 +1,57 @@
+"""Fault plans: named, ordered compositions of fault specs.
+
+A plan is declarative — building one touches nothing. Installation on a
+testbed creates a :class:`~repro.faults.controller.FaultController`
+which resolves targets and starts the scheduler processes::
+
+    plan = (FaultPlan("bursty-loss")
+            .add(BurstLoss(probability=0.01, start_ns=1_000_000))
+            .add(LinkFlap(target="link:client", period_ns=50_000_000)))
+    controller = plan.install(testbed)
+    ...
+    testbed.run(until=HORIZON)
+    print(controller.log.digest())
+
+Determinism contract: with the same testbed seed, the same plan, and
+the same workload, the injection log (and therefore its digest) is
+byte-identical across runs. Every random decision draws from the
+plan-and-spec-named RNG stream; nothing reads the wall clock or global
+RNG state (enforced repo-wide by ``python -m repro lint``).
+"""
+
+from repro.faults.controller import FaultController
+from repro.faults.events import FaultSpec
+
+
+class FaultPlan:
+    """An ordered, named collection of :class:`FaultSpec`."""
+
+    def __init__(self, name, protect_control=True):
+        self.name = name
+        self.protect_control = protect_control
+        self.specs = []
+
+    def add(self, spec):
+        """Append a spec; returns self for chaining."""
+        if not isinstance(spec, FaultSpec):
+            raise TypeError("expected a FaultSpec, got {!r}".format(spec))
+        labels = {s.label for s in self.specs}
+        if spec.label in labels:
+            # Distinct RNG streams require distinct labels.
+            spec.label = "{}-{}".format(spec.label, len(self.specs))
+        self.specs.append(spec)
+        return self
+
+    def install(self, testbed, log=None):
+        """Attach to ``testbed``; returns the live FaultController."""
+        controller = FaultController(testbed, self, log=log)
+        return controller.install()
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self):
+        return len(self.specs)
+
+    def __repr__(self):
+        return "<FaultPlan {} specs={}>".format(self.name, len(self.specs))

@@ -1,0 +1,131 @@
+"""Canonical fault plans used by the fault matrix and the CLI.
+
+Three plans are the acceptance bar for every stack pair (ISSUE 2):
+``bursty-loss``, ``reorder-window``, and ``dma-flake``. The extra plans
+exercise the remaining fault types and are available from the CLI and
+for ad-hoc campaigns. Parameters are tuned so a correct stack always
+recovers within the harness horizon — these plans assert robustness,
+not collapse; collapse studies can scale the probabilities up.
+
+Every fault starts after ``WARMUP_NS`` so connection setup (which the
+paper's §5.3 experiments also exclude) happens on a clean network —
+``protect_control`` additionally shields SYN/RST/ARP throughout.
+"""
+
+from repro.faults.events import (
+    BurstLoss,
+    CoreJitter,
+    Corruption,
+    DmaFlake,
+    DoorbellLoss,
+    Duplication,
+    FpcStall,
+    LinkFlap,
+    MmioDelay,
+    QueueBackpressure,
+    ReorderWindow,
+    StateCacheEvict,
+)
+from repro.faults.plan import FaultPlan
+
+WARMUP_NS = 10_000
+
+
+def bursty_loss_plan(probability=0.05, burst_min=2, burst_max=4):
+    """Correlated switch loss (Fig. 15 made adversarial)."""
+    return FaultPlan("bursty-loss").add(
+        BurstLoss(
+            probability=probability,
+            burst_min=burst_min,
+            burst_max=burst_max,
+            start_ns=WARMUP_NS,
+        )
+    )
+
+
+def reorder_window_plan(probability=0.2, delay_ns=25_000):
+    """Reordering plus light duplication — the GRO/rexmt stress test."""
+    return (
+        FaultPlan("reorder-window")
+        .add(ReorderWindow(probability=probability, delay_ns=delay_ns, start_ns=WARMUP_NS))
+        .add(Duplication(probability=0.05, start_ns=WARMUP_NS))
+    )
+
+
+def dma_flake_plan(probability=0.2, retry_delay_ns=5_000):
+    """Transient DMA failures with retry on every FlexTOE NIC."""
+    return FaultPlan("dma-flake").add(
+        DmaFlake(probability=probability, retry_delay_ns=retry_delay_ns, start_ns=WARMUP_NS)
+    )
+
+
+def corruption_plan(probability=0.02):
+    """In-flight corruption: mostly FCS-caught, some checksum-caught."""
+    return (
+        FaultPlan("corruption")
+        .add(Corruption(probability=probability, fcs=True, start_ns=WARMUP_NS, label="fcs"))
+        .add(Corruption(probability=probability / 2, fcs=False, start_ns=WARMUP_NS, label="csum"))
+    )
+
+
+def link_flap_plan(down_ns=100_000, period_ns=20_000_000):
+    """Periodic short link outages on every station."""
+    return FaultPlan("link-flap").add(LinkFlap(down_ns=down_ns, period_ns=period_ns, start_ns=WARMUP_NS))
+
+
+def nic_pressure_plan():
+    """NIC-internal stress: stalled FPCs, cold caches, shrunken rings."""
+    return (
+        FaultPlan("nic-pressure")
+        .add(FpcStall(stage="proto", stall_ns=20_000, period_ns=500_000, start_ns=WARMUP_NS))
+        .add(StateCacheEvict(period_ns=1_000_000, start_ns=WARMUP_NS))
+        .add(
+            QueueBackpressure(
+                ring="post", capacity=1, start_ns=WARMUP_NS, duration_ns=2_000_000
+            )
+        )
+    )
+
+
+def host_pressure_plan():
+    """Host-side stress: lost doorbells, slow MMIO, stolen cores."""
+    return (
+        FaultPlan("host-pressure")
+        .add(DoorbellLoss(probability=0.1, start_ns=WARMUP_NS))
+        .add(MmioDelay(extra_ns=2_000, start_ns=WARMUP_NS))
+        .add(CoreJitter(core=0, busy_ns=20_000, period_ns=500_000, start_ns=WARMUP_NS))
+    )
+
+
+#: The three acceptance-bar plans (ISSUE 2 fault matrix).
+CANONICAL = {
+    "bursty-loss": bursty_loss_plan,
+    "reorder-window": reorder_window_plan,
+    "dma-flake": dma_flake_plan,
+}
+
+#: Every named plan the CLI can run.
+REGISTRY = dict(CANONICAL)
+REGISTRY.update(
+    {
+        "corruption": corruption_plan,
+        "link-flap": link_flap_plan,
+        "nic-pressure": nic_pressure_plan,
+        "host-pressure": host_pressure_plan,
+    }
+)
+
+
+def canonical_plans():
+    """Fresh instances of the three canonical plans, in a fixed order."""
+    return [CANONICAL[name]() for name in ("bursty-loss", "reorder-window", "dma-flake")]
+
+
+def make_plan(name):
+    """Build a registered plan by name."""
+    try:
+        return REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            "unknown plan {!r}; known: {}".format(name, ", ".join(sorted(REGISTRY)))
+        )

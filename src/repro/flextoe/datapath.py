@@ -93,6 +93,15 @@ class FlexToeDatapath:
         self.descriptor_pool = Resource(sim, capacity=config.descriptor_pool, name="hc-descriptors")
         self._held_descriptors = deque()
 
+        # conn_index -> completion event of that connection's latest RX
+        # DMA work; chains notifications into pipeline order (§3.1.3)
+        # even when individual DMA ops complete out of order.
+        self.dma_rx_chain = {}
+        # conn_index -> completion event of the latest work a post
+        # thread popped for that connection; fences replicated post
+        # threads so dma_ring preserves per-connection protocol order.
+        self.post_chain = {}
+
         # Flow scheduler (service island SCH FPC).
         self.scheduler = CarouselScheduler(
             sim, _TxTriggerAdapter(self), mss=config.mss, costs=config.costs
@@ -110,6 +119,10 @@ class FlexToeDatapath:
         self.rx_frames_seen = 0
         self.rx_frames_dropped_full = 0
 
+        #: stage kind -> [Fpc, ...]; lets the fault layer (repro.faults)
+        #: target "stall a protocol FPC" without groping the islands.
+        self.stage_fpcs = {}
+
         sanitizer.maybe_install_from_env()
         self._assign_fpcs()
         self.mac.rx_handler = self._on_mac_rx
@@ -119,6 +132,9 @@ class FlexToeDatapath:
     def _spawn(self, fpc, program, name, stage_kind, flow_group=None):
         """Spawn a stage process, tagging it with ownership context when
         the runtime sanitizer is active (REPRO_SANITIZE=1)."""
+        fpcs = self.stage_fpcs.setdefault(stage_kind, [])
+        if fpc not in fpcs:
+            fpcs.append(fpc)
         if sanitizer.enabled():
             def factory(thread, _p=program, _k=stage_kind, _g=flow_group):
                 return sanitizer.guard_process(_p(thread), _k, _g)
@@ -126,12 +142,31 @@ class FlexToeDatapath:
             return fpc.spawn(factory, name=name)
         return fpc.spawn(program, name=name)
 
+    def _spawn_gro_delivery(self, gro, name, stage_kind):
+        """Run a reorder buffer's delivery loop as its own sim process.
+
+        The GRO/BLM FPCs are real pipeline actors in the paper (§3.2);
+        running their releases inline in whichever stage happened to
+        complete the sequence hid them from the runtime sanitizer. The
+        dedicated process carries a ``gro``/``seqr`` owner token so
+        REPRO_SANITIZE=1 attributes any illegal write it performs.
+        """
+        gro.use_process_delivery()
+        generator = gro.delivery_program()
+        if sanitizer.enabled():
+            generator = sanitizer.guard_process(generator, stage_kind)
+        return self.sim.process(generator, name=name)
+
     def _assign_fpcs(self):
         config = self.config
         chip = self.chip
         if not config.pipelined:
+            # Run-to-completion polls the downstream rings synchronously
+            # right after offering, so GRO delivery must stay inline.
             self._assign_run_to_completion()
             return
+        self._spawn_gro_delivery(self.rx_gro, "rx-gro-deliver", "gro")
+        self._spawn_gro_delivery(self.nbi_gro, "nbi-gro-deliver", "seqr")
         threads = config.threads_per_fpc
         # Protocol islands: flow-groups spread over the first N islands.
         for group in range(config.n_flow_groups):
@@ -298,6 +333,8 @@ class FlexToeDatapath:
 
     def remove_connection(self, index):
         record = self.conn_table.remove(index)
+        self.dma_rx_chain.pop(index, None)
+        self.post_chain.pop(index, None)
         if record is not None:
             self.lookup_engine.remove(record.four_tuple)
             self.scheduler.remove_flow(index)

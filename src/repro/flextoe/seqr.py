@@ -6,7 +6,17 @@ A :class:`Sequencer` tags work entering the pipeline; a
 order before the protocol stage and before the NBI. A stage dropping a
 tagged segment must call :meth:`ReorderBuffer.skip` so the stream does
 not stall — exactly the BLM bookkeeping the paper assigns its own FPCs.
+
+Delivery has two modes. By default releases happen inline, in whichever
+process called :meth:`offer`/:meth:`skip` (required by the
+run-to-completion baseline, whose worker polls the downstream ring
+synchronously). The pipelined datapath instead calls
+:meth:`use_process_delivery` and spawns :meth:`delivery_program` as a
+real sim process, so the GRO's releases run under their own sanitizer
+owner token rather than the offering stage's.
 """
+
+from collections import deque
 
 
 class Sequencer:
@@ -45,6 +55,9 @@ class ReorderBuffer:
         self.released = 0
         self.buffered_peak = 0
         self.out_of_order_arrivals = 0
+        self._process_delivery = False
+        self._outbox = None
+        self._wake = None
 
     def offer(self, work):
         """Accept a tagged work item; release everything now in order."""
@@ -67,6 +80,29 @@ class ReorderBuffer:
         self._skipped.add(seq)
         self._drain()
 
+    def use_process_delivery(self):
+        """Switch to asynchronous delivery via :meth:`delivery_program`.
+
+        Must be called before any work is offered; the caller is
+        responsible for spawning the program as a sim process.
+        """
+        self._process_delivery = True
+        self._outbox = deque()
+
+    def delivery_program(self):
+        """The GRO delivery loop, run as a dedicated sim process."""
+        while True:
+            while self._outbox:
+                self._deliver(self._outbox.popleft())
+            self._wake = self.sim.event()
+            yield self._wake
+
+    def _notify(self):
+        wake = self._wake
+        if wake is not None and not wake.triggered:
+            self._wake = None
+            wake.succeed()
+
     def _drain(self):
         while True:
             if self._expected in self._skipped:
@@ -78,13 +114,20 @@ class ReorderBuffer:
                 return
             self._expected += 1
             self.released += 1
-            if self.output_fn is not None:
-                self.output_fn(work)
+            if self._process_delivery:
+                self._outbox.append(work)
+                self._notify()
                 continue
-            # Rings between reorder and protocol are sized for the burst;
-            # a full ring here would deadlock the drain, so grow instead.
-            if not self.output_ring.try_put(work):
-                self.output_ring.store.force_put(work)
+            self._deliver(work)
+
+    def _deliver(self, work):
+        if self.output_fn is not None:
+            self.output_fn(work)
+            return
+        # Rings between reorder and protocol are sized for the burst;
+        # a full ring here would deadlock the drain, so grow instead.
+        if not self.output_ring.try_put(work):
+            self.output_ring.store.force_put(work)
 
     @property
     def buffered(self):

@@ -45,6 +45,7 @@ class PreStage:
         self.validated = 0
         self.to_control = 0
         self.lookup_misses = 0
+        self.csum_drops = 0
 
     def program(self, thread):
         dp = self.dp
@@ -83,6 +84,13 @@ class PreStage:
                 dp.rx_gro.skip(work.pipeline_seq)
                 yield dp.control_ring.put(frame)
                 return
+        # Val: the checksum verified by the pre-processor rejects frames
+        # whose payload was corrupted in flight (repro.faults marks them
+        # ``csum_bad`` instead of recomputing a wrong 16-bit sum).
+        if frame.get_meta("csum_bad"):
+            self.csum_drops += 1
+            dp.rx_gro.skip(work.pipeline_seq)
+            return
         # Val: only established-connection data-path segments continue.
         if frame.tcp is None or frame.ip is None or not frame.tcp.is_data_path:
             self.to_control += 1
@@ -372,13 +380,30 @@ class PostStage:
         self.flow_group = flow_group
         self.replica_id = replica_id
         self.acks_built = 0
+        # Cumulative (never reset), unlike post.cnt_fretx which the
+        # congestion-control stats drain consumes and clears.
+        self.fast_retransmits = 0
 
     def program(self, thread):
         dp = self.dp
         ring = dp.post_rings[self.flow_group]
         while True:
             work = yield ring.get()
-            yield from self._process(thread, work)
+            # Per-connection order fence: replicated post threads may
+            # finish out of order (variable compute, stalls), but one
+            # connection's works must enter dma_ring in protocol order —
+            # notification order is delivery order for libTOE (§3.1.3).
+            # Register synchronously at pop time; pop order is protocol
+            # order because the proto stage serializes per connection.
+            prev_chain = dp.post_chain.get(work.conn_index)
+            done = dp.sim.event()
+            dp.post_chain[work.conn_index] = done
+            emit = yield from self._process(thread, work)
+            if prev_chain is not None and not prev_chain.triggered:
+                yield prev_chain
+            if emit:
+                yield dp.dma_ring.put(work)
+            done.succeed()
 
     def _process(self, thread, work):
         dp = self.dp
@@ -389,7 +414,7 @@ class PostStage:
         if record is None:
             if snapshot.free_descriptor:
                 dp.release_descriptor()
-            return
+            return False
         post = record.post
         cycles = costs.post_stats
         # Stats: congestion-control counters, read by the control plane.
@@ -399,6 +424,7 @@ class PostStage:
                 post.cnt_ecnb += snapshot.acked_bytes
         if snapshot.fast_retransmit:
             post.cnt_fretx = min(255, post.cnt_fretx + 1)
+            self.fast_retransmits += 1
         if snapshot.rtt_sample_ecr is not None and post.use_timestamps:
             sample = (now_us(dp.sim) - snapshot.rtt_sample_ecr) & 0xFFFFFFFF
             if sample < 1_000_000:  # discard absurd samples (wrap)
@@ -478,8 +504,9 @@ class PostStage:
         yield from thread.compute(cycles)
         if snapshot.free_descriptor:
             dp.release_descriptor()
-        if work.kind == WORK_TX or work.rx_trimmed_payload or work.ack_frame is not None or notifications:
-            yield dp.dma_ring.put(work)
+        return bool(
+            work.kind == WORK_TX or work.rx_trimmed_payload or work.ack_frame is not None or notifications
+        )
 
 
 class DmaStage:
@@ -519,6 +546,17 @@ class DmaStage:
         post = record.post
         if work.kind == WORK_RX:
             payload = work.rx_trimmed_payload
+            # Per-connection completion chain: a segment's notification
+            # (and ACK) may not overtake an earlier segment's still-
+            # pending payload DMA — otherwise libTOE would see NOTIFY_RX
+            # out of order and stitch the stream wrong (§3.1.3). DMA
+            # retries (repro.faults DmaFlake) make this reordering real.
+            prev_chain = None
+            done = None
+            if payload or work.notify or work.ack_frame is not None:
+                prev_chain = dp.dma_rx_chain.get(work.conn_index)
+                done = dp.sim.event()
+                dp.dma_rx_chain[work.conn_index] = done
             if payload:
                 yield from thread.compute(costs.dma_issue)
                 dp.tracepoints.hit(dp.sim.now, "dma", "dma.payload_issue")
@@ -532,6 +570,8 @@ class DmaStage:
                 for event in events:
                     yield event
                 self.payload_ops += 1
+            if prev_chain is not None and not prev_chain.triggered:
+                yield prev_chain
             # Payload is in host memory: now the ACK may leave and the
             # notification may be delivered.
             if work.ack_frame is not None:
@@ -539,6 +579,8 @@ class DmaStage:
                 dp.nbi_gro.offer(work.ack_frame)
             for notification in work.notify or ():
                 yield dp.ctx_ring.put(notification)
+            if done is not None:
+                done.succeed()
         elif work.kind == WORK_TX:
             yield from thread.compute(costs.dma_issue)
             parts = []
@@ -621,6 +663,12 @@ class CtxStage:
         self.dp = dp
         self.notifications_sent = 0
         self.descriptors_fetched = 0
+        # context_id -> completion event of the latest ARX delivery:
+        # several ARX hardware threads drain ctx_ring concurrently, so
+        # without the chain a delayed descriptor DMA (repro.faults
+        # DmaFlake) would let a later notification overtake an earlier
+        # one within the same context queue.
+        self._arx_chain = {}
 
     def arx_program(self, thread):
         """NIC -> host notification path."""
@@ -628,15 +676,21 @@ class CtxStage:
         costs = dp.config.costs
         while True:
             notification = yield dp.ctx_ring.get()
+            prev_chain = self._arx_chain.get(notification.context_id)
+            done = dp.sim.event()
+            self._arx_chain[notification.context_id] = done
             serial = None
             if dp.serial_lock is not None:
                 serial = yield dp.serial_lock.request()
             yield from thread.compute(costs.ctx_notify)
             pair = dp.contexts.get(notification.context_id)
             yield dp.dma.issue(1, 32)
+            if prev_chain is not None and not prev_chain.triggered:
+                yield prev_chain
             if pair is not None:
                 pair.nic_deliver(notification)
                 self.notifications_sent += 1
+            done.succeed()
             if serial is not None:
                 serial.release()
 

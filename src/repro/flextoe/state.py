@@ -185,6 +185,10 @@ class ConnectionTable:
             raise ValueError("connection index {} already installed".format(record.index))
         self._records[record.index] = record
 
+    def records(self):
+        """Installed records in index order (deterministic iteration)."""
+        return [self._records[index] for index in sorted(self._records)]
+
     def allocate_index(self):
         if self._free_indices:
             return self._free_indices.pop()

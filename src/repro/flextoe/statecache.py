@@ -40,6 +40,7 @@ class StateCache:
         self.hits_lmem = 0
         self.hits_cls = 0
         self.misses = 0
+        self.forced_flushes = 0
 
     #: Issue-slot cycles spent *moving* a 108-byte record (read/write
     #: commands, tag checks, eviction bookkeeping). Unlike the wait
@@ -84,6 +85,16 @@ class StateCache:
         """Latency-only view (compatibility for tests/tools)."""
         latency, _issue = self.access(conn_index)
         return latency
+
+    def flush(self):
+        """Evict every cached record (fault injection: forced eviction).
+
+        The next access per connection falls through to the EMEM path,
+        recreating the cold-cache cost the Figure 14 curve measures.
+        """
+        self.forced_flushes += 1
+        self.lmem.clear()
+        self.cls_slots.clear()
 
     def invalidate(self, conn_index):
         self.lmem.invalidate(conn_index)

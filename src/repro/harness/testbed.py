@@ -60,6 +60,7 @@ class Testbed:
             self.sim, switch=self.switch, link_rate_bps=link_rate_bps, link_delay_ns=link_delay_ns
         )
         self.hosts = {}
+        self.fault_controllers = []
         self._next_host = 1
 
     def addresses(self):
@@ -102,6 +103,18 @@ class Testbed:
                 continue
             for ip, mac in entries:
                 seed(ip, mac)
+
+    def install_fault_plan(self, plan, log=None):
+        """Install a :class:`repro.faults.FaultPlan` on this testbed.
+
+        Call after every host has been attached (target resolution reads
+        ``hosts``/``topology.stations`` at install time). Returns the
+        live :class:`~repro.faults.controller.FaultController`; its
+        ``log`` carries the deterministic injection record.
+        """
+        controller = plan.install(self, log=log)
+        self.fault_controllers.append(controller)
+        return controller
 
     def run(self, until=None):
         return self.sim.run(until=until)

@@ -62,6 +62,8 @@ class CpuCore:
         self.accounting = CycleAccounting()
         self._slot = Resource(sim, capacity=1, name="{}.slot".format(name))
         self.busy_cycles = 0
+        self.steals = 0
+        self.stolen_ns = 0
 
     def run(self, cycles, category=CAT_OTHER):
         """Execute ``cycles`` of work attributed to ``category``."""
@@ -72,6 +74,24 @@ class CpuCore:
         self.accounting.charge(category, cycles)
         self.busy_cycles += cycles
         grant.release()
+
+    def steal(self, duration_ns):
+        """Occupy the core for ``duration_ns`` (fault injection: jitter).
+
+        Models a noisy neighbor, SMI, or kernel housekeeping burst that
+        preempts whatever software thread is pinned here. The stolen
+        time is not charged to any accounting category. Returns the
+        stealing process.
+        """
+
+        def _steal():
+            grant = yield self._slot.request()
+            self.steals += 1
+            self.stolen_ns += duration_ns
+            yield self.sim.timeout(duration_ns)
+            grant.release()
+
+        return self.sim.process(_steal(), name="{}.steal".format(self.name))
 
     def block(self, event):
         """Sleep off-core until ``event`` fires (e.g. epoll_wait)."""

@@ -17,7 +17,12 @@ def wire_time_ns(rate_bps, length):
 
 
 class Port:
-    """One attachment point. ``receiver(frame)`` is called on arrival."""
+    """One attachment point. ``receiver(frame)`` is called on arrival.
+
+    The port models the receiving MAC's FCS check: frames marked with
+    ``fcs_bad`` metadata (wire corruption, see :mod:`repro.faults`) are
+    counted and dropped before the device ever sees them.
+    """
 
     def __init__(self, sim, name="port"):
         self.sim = sim
@@ -28,6 +33,7 @@ class Port:
         self.tx_bytes = 0
         self.rx_frames = 0
         self.rx_bytes = 0
+        self.rx_fcs_drops = 0
 
     def send(self, frame):
         """Transmit a frame onto the attached link."""
@@ -38,6 +44,9 @@ class Port:
         self.link.transmit(self, frame)
 
     def deliver(self, frame):
+        if frame.get_meta("fcs_bad"):
+            self.rx_fcs_drops += 1
+            return
         self.rx_frames += 1
         self.rx_bytes += frame.wire_len
         if self.receiver is not None:
@@ -77,18 +86,31 @@ class Link:
 
     ``rate_bps=None`` disables serialization modeling (used between a
     switch egress queue — which already paces frames — and the next port).
+
+    A link can be administratively flapped (``set_up``) by the fault
+    layer; frames offered while the link is down are silently lost, as
+    on a real cable pull.
     """
 
     def __init__(self, sim, port_a, port_b, rate_bps=40_000_000_000, prop_delay_ns=500):
         self.sim = sim
         self.port_a = port_a
         self.port_b = port_b
+        self.up = True
+        self.drops_link_down = 0
         self._a_to_b = _Direction(sim, rate_bps, prop_delay_ns, port_b)
         self._b_to_a = _Direction(sim, rate_bps, prop_delay_ns, port_a)
         port_a.link = self
         port_b.link = self
 
+    def set_up(self, up):
+        """Administrative link state (fault injection: link flap)."""
+        self.up = bool(up)
+
     def transmit(self, src_port, frame):
+        if not self.up:
+            self.drops_link_down += 1
+            return
         if src_port is self.port_a:
             self._a_to_b.transmit(frame)
         elif src_port is self.port_b:

@@ -94,12 +94,16 @@ class _EgressQueue:
 class Switch:
     """A store-and-forward switch with per-egress-port queue policy."""
 
-    def __init__(self, sim, name="switch", default_config=None, rng=None, loss=None):
+    def __init__(self, sim, name="switch", default_config=None, rng=None, loss=None, faults=None):
         self.sim = sim
         self.name = name
         self.default_config = default_config or SwitchPortConfig()
         self.rng = rng
         self.loss = loss
+        #: Optional wire-fault hook (repro.faults.WireFaultInjector):
+        #: ``admit(frame)`` returns [(frame, extra_delay_ns), ...] — an
+        #: empty list drops, several entries duplicate, a delay reorders.
+        self.faults = faults
         self._ports = []
         self._egress = []
         self._mac_table = {}
@@ -134,6 +138,19 @@ class Switch:
         self._mac_table.setdefault(frame.eth.src, in_index)
         if self.loss is not None and self.loss.should_drop(frame):
             return
+        if self.faults is not None:
+            for out_frame, delay_ns in self.faults.admit(frame):
+                if delay_ns > 0:
+                    event = self.sim.timeout(delay_ns)
+                    event.callbacks.append(
+                        lambda _ev, f=out_frame, i=in_index: self._forward(i, f)
+                    )
+                else:
+                    self._forward(in_index, out_frame)
+            return
+        self._forward(in_index, frame)
+
+    def _forward(self, in_index, frame):
         dst = frame.eth.dst
         if dst == BROADCAST_MAC:
             self.flooded += 1

@@ -46,6 +46,12 @@ class Cam:
     def invalidate(self, key):
         return self._entries.pop(key, None)
 
+    def clear(self):
+        """Drop every entry (fault injection: forced cache flush)."""
+        flushed = len(self._entries)
+        self._entries.clear()
+        return flushed
+
     def __contains__(self, key):
         return key in self._entries
 

@@ -32,6 +32,11 @@ class DmaEngine:
         self._busy_until = 0
         self.ops = 0
         self.bytes_moved = 0
+        #: Optional fault hook (repro.faults): called with the transfer
+        #: size, returns extra retry latency in ns (0 = healthy op).
+        self.fault_hook = None
+        self.transient_failures = 0
+        self.retry_ns_total = 0
 
     def transfer_time_ns(self, nbytes):
         if nbytes <= 0:
@@ -51,6 +56,16 @@ class DmaEngine:
 
     def _run(self, queue, nbytes, done):
         grant = yield queue.request()
+        retry_ns = 0
+        if self.fault_hook is not None:
+            # Transient DMA failure: the engine retries the descriptor
+            # after ``retry_ns``; the operation still completes (PCIe
+            # replay), it just arrives late and holds its queue slot.
+            retry_ns = int(self.fault_hook(nbytes) or 0)
+            if retry_ns > 0:
+                self.transient_failures += 1
+                self.retry_ns_total += retry_ns
+                yield self.sim.timeout(retry_ns)
         start = max(self.sim.now, self._busy_until)
         finish = start + self.transfer_time_ns(nbytes)
         self._busy_until = finish

@@ -81,6 +81,8 @@ class Fpc:
         self._issue = Resource(sim, capacity=1, name="{}.issue".format(name))
         self._threads = []
         self.busy_cycles = 0
+        self.stalls = 0
+        self.stalled_ns = 0
 
     def spawn(self, program_factory, name=None):
         """Start a program on a fresh hardware thread.
@@ -95,6 +97,24 @@ class Fpc:
         label = name or "{}.t{}".format(self.name, thread.thread_id)
         thread.process = self.sim.process(program_factory(thread), name=label)
         return thread
+
+    def stall(self, duration_ns):
+        """Occupy the issue pipeline for ``duration_ns`` (fault injection).
+
+        Models a thread wedged in the issue stage — e.g. an ECC scrub,
+        a firmware assist, or a microcode loop — during which no hardware
+        thread on this FPC can issue instructions. Memory waits already
+        in flight still complete. Returns the stall process.
+        """
+
+        def _stall():
+            grant = yield self._issue.request()
+            self.stalls += 1
+            self.stalled_ns += duration_ns
+            yield self.sim.timeout(duration_ns)
+            grant.release()
+
+        return self.sim.process(_stall(), name="{}.stall".format(self.name))
 
     def load_code(self, nbytes):
         """Account code-store usage; FPC code stores are only 32 KB."""

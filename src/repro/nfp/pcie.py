@@ -30,6 +30,12 @@ class PcieBlock:
         self._doorbells = {}
         self._msix_handlers = {}
         self.msix_raised = 0
+        #: Optional fault hook (repro.faults): called with the doorbell
+        #: key; returns ``None`` to drop the posted write entirely, or an
+        #: extra delay in ns appended to the MMIO latency (0 = healthy).
+        self.mmio_fault = None
+        self.doorbells_lost = 0
+        self.mmio_delayed = 0
 
     def doorbell(self, key):
         """Get-or-create the doorbell register for ``key``."""
@@ -39,6 +45,17 @@ class PcieBlock:
 
     def ring(self, key):
         """Host-side MMIO write landing after the posted-write delay."""
+        delay_ns = MMIO_WRITE_NS
+        if self.mmio_fault is not None:
+            extra = self.mmio_fault(key)
+            if extra is None:
+                # Posted write lost in flight: the host gets no error —
+                # recovery relies on the control-plane RTO re-posting.
+                self.doorbells_lost += 1
+                return
+            if extra > 0:
+                self.mmio_delayed += 1
+                delay_ns += int(extra)
         bell = self.doorbell(key)
 
         def fire(_event):
@@ -49,7 +66,7 @@ class PcieBlock:
             else:
                 bell.pending += 1
 
-        self.sim.timeout(MMIO_WRITE_NS).callbacks.append(fire)
+        self.sim.timeout(delay_ns).callbacks.append(fire)
 
     def wait_doorbell(self, key):
         """NIC-side: event that fires when a ring is available; each fired

@@ -56,6 +56,18 @@ class Store:
     def is_full(self):
         return self.capacity is not None and len(self.items) >= self.capacity
 
+    def set_capacity(self, capacity):
+        """Change the bound at runtime (fault injection: backpressure).
+
+        Shrinking never discards queued items — the store just refuses
+        new puts until occupancy falls below the new bound. Growing (or
+        passing ``None``) releases blocked puts immediately.
+        """
+        if capacity is not None and capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.capacity = capacity
+        self._trigger()
+
     def put(self, item):
         return StorePut(self, item)
 

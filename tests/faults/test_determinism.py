@@ -1,0 +1,40 @@
+"""Determinism regression (ISSUE 2 satellite): same seed + same plan ⇒
+byte-identical injection logs and identical end-to-end stats across two
+fresh runs of the whole simulation. This is the property that makes any
+fault-matrix failure replayable from its printed seed.
+"""
+
+import pytest
+
+from repro.faults.cli import run_plan
+
+CASES = [
+    ("bursty-loss", "flextoe", "flextoe"),
+    ("reorder-window", "flextoe", "linux"),
+    ("dma-flake", "tas", "flextoe"),
+]
+
+
+@pytest.mark.parametrize("plan,server,client", CASES)
+def test_same_seed_same_trace(plan, server, client):
+    first = run_plan(plan, seed=23, server_stack=server, client_stack=client, n_bytes=20000)
+    second = run_plan(plan, seed=23, server_stack=server, client_stack=client, n_bytes=20000)
+    assert not first["violations"]
+    assert first["digest"] == second["digest"], "injection log diverged between same-seed runs"
+    assert first["log"] == second["log"]
+    assert first["event_counts"] == second["event_counts"]
+    assert first["finished_ns"] == second["finished_ns"]
+    assert first["retransmit_events"] == second["retransmit_events"]
+
+
+def test_different_seed_different_trace():
+    a = run_plan("bursty-loss", seed=23, n_bytes=20000)
+    b = run_plan("bursty-loss", seed=24, n_bytes=20000)
+    assert a["digest"] != b["digest"], "seed does not reach the fault RNG streams"
+
+
+def test_log_records_are_time_ordered():
+    result = run_plan("reorder-window", seed=23, n_bytes=20000)
+    times = [rec["t_ns"] for rec in result["log"]]
+    assert times == sorted(times)
+    assert result["injections"] == len(result["log"])

@@ -1,0 +1,75 @@
+"""InjectionLog and describe_frame units: the determinism substrate."""
+
+from repro.faults import InjectionLog, describe_frame
+from repro.proto.arp import ArpHeader
+from repro.proto.ethernet import ETHERTYPE_ARP, EthernetHeader
+from repro.proto.packet import Frame, make_tcp_frame
+from repro.proto.tcp import FLAG_ACK, FLAG_PSH
+
+
+def tcp_frame(**kw):
+    defaults = dict(
+        src_mac=0x020000000001,
+        dst_mac=0x020000000002,
+        src_ip=0x0A000001,
+        dst_ip=0x0A000002,
+        sport=4000,
+        dport=7000,
+    )
+    defaults.update(kw)
+    return make_tcp_frame(**defaults)
+
+
+def test_describe_frame_uses_wire_fields_only():
+    a = tcp_frame(seq=100, ack=7, flags=FLAG_ACK | FLAG_PSH, payload=b"xyz")
+    b = tcp_frame(seq=100, ack=7, flags=FLAG_ACK | FLAG_PSH, payload=b"xyz")
+    # Distinct frames (distinct frame_ids) must describe identically —
+    # frame_id is a process-global counter and would break the digest.
+    assert a.frame_id != b.frame_id
+    assert describe_frame(a) == describe_frame(b)
+    assert "seq=100" in describe_frame(a)
+    assert "len=3" in describe_frame(a)
+    assert str(a.frame_id) not in describe_frame(a).replace("seq=100", "")
+
+
+def test_describe_frame_arp_and_raw():
+    eth = EthernetHeader(dst=2, src=1, ethertype=ETHERTYPE_ARP)
+    arp = Frame(eth, arp=ArpHeader(1, 1, 0x0A000001, 2, 0x0A000002))
+    assert describe_frame(arp) == "arp"
+    raw = Frame(EthernetHeader(dst=2, src=1, ethertype=0x1234), payload=b"abcd")
+    assert describe_frame(raw) == "raw len=4"
+
+
+def test_log_counts_and_actions():
+    log = InjectionLog()
+    log.record(10, "p", "loss", "drop", "switch", "a")
+    log.record(20, "p", "loss", "drop", "switch", "b")
+    log.record(30, "p", "stall", "stall", "server:fpc0", "50000ns")
+    assert len(log) == 3
+    assert log.counts() == {("loss", "drop"): 2, ("stall", "stall"): 1}
+    assert [rec["detail"] for rec in log.actions("drop")] == ["a", "b"]
+    assert log.actions("flush") == []
+
+
+def test_log_digest_is_order_and_content_sensitive():
+    a, b, c = InjectionLog(), InjectionLog(), InjectionLog()
+    a.record(10, "p", "f", "drop", "switch")
+    a.record(20, "p", "f", "drop", "switch")
+    b.record(10, "p", "f", "drop", "switch")
+    b.record(20, "p", "f", "drop", "switch")
+    c.record(20, "p", "f", "drop", "switch")
+    c.record(10, "p", "f", "drop", "switch")
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()
+    assert len(a.digest()) == 64  # sha256 hex
+
+
+def test_log_json_round_trip():
+    import json
+
+    log = InjectionLog()
+    log.record(5, "plan", "fault", "drop", "switch", "detail")
+    parsed = json.loads(log.to_json())
+    assert parsed == log.to_jsonable()
+    assert parsed[0]["t_ns"] == 5
+    assert parsed[0]["action"] == "drop"

@@ -1,0 +1,65 @@
+"""FaultPlan composition, the plan registry, and controller install."""
+
+import pytest
+
+from repro.faults import BurstLoss, Corruption, FaultPlan, make_plan
+from repro.faults.plans import CANONICAL, REGISTRY, canonical_plans
+from repro.harness import Testbed
+
+
+def test_plan_add_chains_and_iterates():
+    plan = FaultPlan("p").add(BurstLoss()).add(Corruption())
+    assert len(plan) == 2
+    assert [type(s).__name__ for s in plan] == ["BurstLoss", "Corruption"]
+
+
+def test_plan_dedupes_duplicate_labels_for_distinct_rng_streams():
+    plan = FaultPlan("p").add(Corruption()).add(Corruption())
+    labels = [spec.label for spec in plan]
+    assert len(set(labels)) == 2, "identical labels would share an RNG stream"
+
+
+def test_registry_covers_canonical_plans():
+    assert set(CANONICAL) == {"bursty-loss", "reorder-window", "dma-flake"}
+    assert set(CANONICAL) <= set(REGISTRY)
+    assert [p.name for p in canonical_plans()] == ["bursty-loss", "reorder-window", "dma-flake"]
+
+
+def test_make_plan_unknown_name():
+    with pytest.raises(KeyError) as err:
+        make_plan("no-such-plan")
+    assert "bursty-loss" in str(err.value)
+
+
+def test_install_wires_switch_and_tracks_controller():
+    bed = Testbed(seed=1)
+    bed.add_flextoe_host("a")
+    controller = bed.install_fault_plan(FaultPlan("p").add(BurstLoss()))
+    assert bed.switch.faults is controller.wire_injector
+    assert bed.fault_controllers == [controller]
+
+
+def test_install_refuses_second_wire_injector():
+    bed = Testbed(seed=1)
+    bed.add_flextoe_host("a")
+    bed.install_fault_plan(FaultPlan("p1").add(BurstLoss()))
+    with pytest.raises(RuntimeError):
+        bed.install_fault_plan(FaultPlan("p2").add(BurstLoss()))
+
+
+def test_double_install_of_one_controller_refused():
+    bed = Testbed(seed=1)
+    controller = bed.install_fault_plan(FaultPlan("p").add(BurstLoss()))
+    with pytest.raises(RuntimeError):
+        controller.install()
+
+
+def test_nic_fault_skips_baseline_hosts_in_log():
+    from repro.baselines import add_linux_host
+    from repro.faults import DmaFlake
+
+    bed = Testbed(seed=1)
+    add_linux_host(bed, "lnx")
+    controller = bed.install_fault_plan(FaultPlan("p").add(DmaFlake()))
+    skips = controller.log.actions("skipped")
+    assert len(skips) == 1 and skips[0]["target"] == "lnx"

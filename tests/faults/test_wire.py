@@ -1,0 +1,132 @@
+"""WireFaultInjector + wire spec units, no full testbed needed."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    BurstLoss,
+    Corruption,
+    Duplication,
+    ReorderWindow,
+    WireFaultInjector,
+)
+from repro.faults.log import InjectionLog
+from repro.faults.wire import is_control_frame
+from repro.proto.packet import make_tcp_frame
+from repro.proto.tcp import FLAG_ACK, FLAG_RST, FLAG_SYN
+
+
+class StubCtx:
+    """Just enough of FaultContext for spec unit tests."""
+
+    def __init__(self, seed=1):
+        self.rng = random.Random(seed)
+        self.log = InjectionLog()
+
+    def log_event(self, action, target, detail=""):
+        self.log.record(0, "unit", "unit", action, target, detail)
+
+
+def frame(flags=FLAG_ACK, payload=b"pp"):
+    return make_tcp_frame(
+        src_mac=1, dst_mac=2, src_ip=3, dst_ip=4, sport=1000, dport=2000,
+        seq=1, ack=2, flags=flags, payload=payload,
+    )
+
+
+def test_is_control_frame():
+    assert is_control_frame(frame(flags=FLAG_SYN))
+    assert is_control_frame(frame(flags=FLAG_RST))
+    assert not is_control_frame(frame(flags=FLAG_ACK))
+
+
+def test_burst_loss_drops_consecutive_runs():
+    spec = BurstLoss(probability=1.0, burst_min=3, burst_max=3)
+    ctx = StubCtx()
+    outs = [spec.admit_one(ctx, frame()) for _ in range(3)]
+    assert outs == [[], [], []]  # one trigger covers a 3-frame burst
+    assert spec.dropped == 3
+    assert len(ctx.log.actions("drop")) == 3
+
+
+def test_burst_loss_passthrough_at_zero_probability():
+    spec = BurstLoss(probability=0.0)
+    ctx = StubCtx()
+    f = frame()
+    assert spec.admit_one(ctx, f) == [(f, 0)]
+    assert len(ctx.log) == 0
+
+
+def test_burst_loss_rejects_bad_probability():
+    with pytest.raises(ValueError):
+        BurstLoss(probability=1.5)
+
+
+def test_corruption_marks_a_copy_not_the_original():
+    ctx = StubCtx()
+    f = frame()
+    for fcs, meta in ((True, "fcs_bad"), (False, "csum_bad")):
+        spec = Corruption(probability=1.0, fcs=fcs)
+        [(out, delay)] = spec.admit_one(ctx, f)
+        assert delay == 0
+        assert out is not f
+        assert out.get_meta(meta) is True
+        assert f.get_meta(meta) is None  # pristine original
+    assert len(ctx.log.actions("corrupt")) == 2
+
+
+def test_duplication_emits_two_distinct_frames():
+    spec = Duplication(probability=1.0)
+    ctx = StubCtx()
+    f = frame()
+    out = spec.admit_one(ctx, f)
+    assert len(out) == 2
+    assert out[0][0] is f
+    assert out[1][0] is not f
+    assert out[1][0].tcp.seq == f.tcp.seq
+
+
+def test_reorder_window_adds_delay():
+    spec = ReorderWindow(probability=1.0, delay_ns=7_000)
+    ctx = StubCtx()
+    [(out, delay)] = spec.admit_one(ctx, frame())
+    assert delay == 7_000
+    assert spec.delayed == 1
+
+
+def test_injector_protects_control_frames():
+    inj = WireFaultInjector(protect_control=True)
+    inj.add_effect(BurstLoss(probability=1.0), StubCtx())
+    syn = frame(flags=FLAG_SYN)
+    assert inj.admit(syn) == [(syn, 0)]
+    assert inj.admit(frame()) == []  # data frame eaten by the burst
+    assert inj.frames_seen == 2
+    assert inj.frames_touched == 1
+
+
+def test_injector_composes_delays_additively():
+    inj = WireFaultInjector()
+    inj.add_effect(ReorderWindow(probability=1.0, delay_ns=1_000), StubCtx())
+    inj.add_effect(ReorderWindow(probability=1.0, delay_ns=500), StubCtx())
+    [(_, delay)] = inj.admit(frame())
+    assert delay == 1_500
+
+
+def test_injector_duplication_then_loss_applies_per_copy():
+    # Duplicate first, then a certain loss: both copies die.
+    inj = WireFaultInjector()
+    inj.add_effect(Duplication(probability=1.0), StubCtx())
+    inj.add_effect(BurstLoss(probability=1.0, burst_min=1, burst_max=1), StubCtx())
+    assert inj.admit(frame()) == []
+
+
+def test_injector_remove_effect_restores_passthrough():
+    inj = WireFaultInjector()
+    spec = BurstLoss(probability=1.0, burst_min=1, burst_max=1)
+    inj.add_effect(spec, StubCtx())
+    assert inj.admit(frame()) == []
+    inj.remove_effect(spec)
+    assert spec not in inj.active_effects
+    f = frame()
+    assert inj.admit(f) == [(f, 0)]

@@ -1,0 +1,247 @@
+"""Property-based TCP conformance suite (ISSUE 2 satellite).
+
+Hypothesis drives :class:`repro.faults.SegmentMangler` over segmented
+byte streams and feeds the mangled arrival order straight into
+``proto_logic.process_rx`` — the atomic per-connection step that real
+FlexTOE runs on the FPCs. The properties are the receiver's hard
+contract, independent of timing:
+
+* ``state.ack`` never regresses (mod-2^32 monotone),
+* every NOTIFY_RX region is byte-exact against the original stream
+  (reassembly never stitches payloads into the wrong place),
+* corrupted segments are rejected by the checksum front-end and so
+  never pollute the delivered stream,
+* a final clean (go-back-N) pass always completes delivery — the
+  receiver cannot wedge from any mangled prefix.
+"""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import SegmentMangler
+from repro.flextoe import proto_logic
+from repro.flextoe.descriptors import HeaderSummary
+from repro.flextoe.state import ProtocolState
+from repro.proto.checksum import checksum16
+from repro.proto.tcp import seq_add, seq_diff
+
+ISS = 0xFFFF_FF00  # initial sequence number near the wrap, on purpose
+RX_BUF = 1 << 20
+
+
+class Segment:
+    """A wire segment as the conformance front-end sees it."""
+
+    __slots__ = ("seq", "payload", "corrupted")
+
+    def __init__(self, seq, payload, corrupted=False):
+        self.seq = seq
+        self.payload = payload
+        self.corrupted = corrupted
+
+    def wire_bytes(self):
+        """Checksummed representation: seq header + payload."""
+        return struct.pack(">I", self.seq) + self.payload
+
+
+def segment_stream(message, mss):
+    segments = []
+    for off in range(0, len(message), mss):
+        segments.append(Segment(seq_add(ISS, off), message[off : off + mss]))
+    return segments
+
+
+def corrupt_segment(segment):
+    """Flip one payload byte — always detectable by the 16-bit internet
+    checksum (a single-byte change alters exactly one checksum word)."""
+    payload = bytearray(segment.payload)
+    if payload:
+        payload[len(payload) // 2] ^= 0x5A
+    return Segment(segment.seq, bytes(payload), corrupted=True)
+
+
+def checksum_ok(segment, expected_sum):
+    """The pre-stage Val step: recompute and compare."""
+    return checksum16(segment.wire_bytes()) == expected_sum[segment.seq, len(segment.payload)]
+
+
+def fresh_receiver():
+    return ProtocolState(seq=0, ack=ISS, rx_avail=RX_BUF)
+
+
+def feed(state, segment, delivered, message):
+    """Run one segment through process_rx, checking the invariants."""
+    ack_before = state.ack
+    summary = HeaderSummary(
+        seq=segment.seq,
+        ack=state.seq,
+        flags=0,
+        window=0xFFFF,
+        payload_len=len(segment.payload),
+    )
+    result = proto_logic.process_rx(state, summary, segment.payload)
+    assert seq_diff(state.ack, ack_before) >= 0, "ack regressed: {} -> {}".format(
+        ack_before, state.ack
+    )
+    if result.payload_dest_pos is not None and result.payload:
+        # Placement is in receive-stream coordinates (rx_pos starts at 0
+        # == stream offset 0), so we can diff against the message.
+        start = result.payload_dest_pos
+        expected = message[start : start + len(result.payload)]
+        assert result.payload == expected, (
+            "payload placed at stream offset {} does not match the "
+            "original bytes there".format(start)
+        )
+        for i, byte in enumerate(result.payload):
+            delivered[start + i] = byte
+    if result.notify_rx_len:
+        # Everything the app is told about must already be delivered.
+        lo = result.notify_rx_pos
+        hi = lo + result.notify_rx_len
+        assert all(delivered[i] is not None for i in range(lo, hi)), (
+            "NOTIFY_RX covers bytes never placed: [{}, {})".format(lo, hi)
+        )
+    return result
+
+
+mangle_params = st.fixed_dictionaries(
+    {
+        "loss_p": st.floats(min_value=0.0, max_value=0.4),
+        "dup_p": st.floats(min_value=0.0, max_value=0.3),
+        "reorder_p": st.floats(min_value=0.0, max_value=0.5),
+        "seed": st.integers(min_value=0, max_value=2**32 - 1),
+    }
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.binary(min_size=1, max_size=6000),
+    mss=st.sampled_from([100, 536, 1448]),
+    params=mangle_params,
+)
+def test_mangled_arrival_reassembles_exactly(data, mss, params):
+    """Loss/dup/reorder, then a clean go-back-N pass: exact delivery."""
+    import random
+
+    state = fresh_receiver()
+    delivered = [None] * len(data)
+    mangler = SegmentMangler(
+        random.Random(params["seed"]),
+        loss_p=params["loss_p"],
+        dup_p=params["dup_p"],
+        reorder_p=params["reorder_p"],
+    )
+    for segment in mangler.mangle(segment_stream(data, mss)):
+        feed(state, segment, delivered, data)
+
+    # Go-back-N recovery: the sender retransmits from the cumulative ACK
+    # with no further faults. The receiver must finish, whatever the
+    # mangled prefix left behind (single-OOO-interval drops included).
+    remaining = seq_diff(seq_add(ISS, len(data)), state.ack)
+    assert 0 <= remaining <= len(data)
+    start = len(data) - remaining
+    for segment in segment_stream(data[start:], mss):
+        feed(
+            state,
+            Segment(seq_add(segment.seq, start), segment.payload),
+            delivered,
+            data,
+        )
+
+    assert state.ack == seq_add(ISS, len(data)), "receiver wedged short of the stream end"
+    assert bytes(delivered) == data, "delivered stream differs from the original"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.binary(min_size=2, max_size=3000),
+    mss=st.sampled_from([100, 1448]),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_corrupted_segments_never_accepted(data, mss, seed):
+    """The checksum front-end drops every mangled-corrupt segment, so
+    corruption can delay delivery but never alter the stream."""
+    import random
+
+    segments = segment_stream(data, mss)
+    expected_sum = {(s.seq, len(s.payload)): checksum16(s.wire_bytes()) for s in segments}
+
+    mangler = SegmentMangler(random.Random(seed), corrupt_p=0.5, reorder_p=0.2)
+    state = fresh_receiver()
+    delivered = [None] * len(data)
+    corrupt_seen = 0
+    for segment in mangler.mangle(segments, corrupt_fn=corrupt_segment):
+        if segment.corrupted:
+            corrupt_seen += 1
+            assert not checksum_ok(segment, expected_sum), (
+                "single-byte corruption escaped the internet checksum"
+            )
+            continue  # the pre stage drops it before proto_logic runs
+        assert checksum_ok(segment, expected_sum)
+        feed(state, segment, delivered, data)
+    assert corrupt_seen == sum(1 for op in mangler.ops if op.op == "corrupt")
+
+    # Clean retransmission pass completes delivery with pristine bytes.
+    remaining = seq_diff(seq_add(ISS, len(data)), state.ack)
+    start = len(data) - remaining
+    for segment in segment_stream(data[start:], mss):
+        feed(state, Segment(seq_add(segment.seq, start), segment.payload), delivered, data)
+    assert bytes(delivered) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.binary(min_size=1, max_size=4000),
+    mss=st.sampled_from([100, 536, 1448]),
+    dup=st.integers(min_value=2, max_value=4),
+)
+def test_pure_duplication_is_idempotent(data, mss, dup):
+    """Every segment delivered ``dup`` times, in order: the receiver
+    ACKs duplicates without re-delivering or advancing twice."""
+    state = fresh_receiver()
+    delivered = [None] * len(data)
+    notified = 0
+    for segment in segment_stream(data, mss):
+        for copy in range(dup):
+            result = feed(state, segment, delivered, data)
+            if copy > 0:
+                assert result.notify_rx_len == 0, "duplicate segment re-notified"
+                assert result.send_ack, "duplicate must still be ACKed (dup-ACK)"
+            else:
+                notified += result.notify_rx_len
+    assert notified == len(data)
+    assert state.ack == seq_add(ISS, len(data))
+    assert bytes(delivered) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.binary(min_size=3, max_size=2000),
+    mss=st.sampled_from([64, 256]),
+)
+def test_reversed_arrival_single_interval_discipline(data, mss):
+    """Worst-case reversal: with one OOO interval, only the segment
+    adjacent to the interval merges; others are dropped and re-ACKed,
+    and ack stays pinned until the head hole fills."""
+    state = fresh_receiver()
+    delivered = [None] * len(data)
+    segments = segment_stream(data, mss)
+    for segment in reversed(segments[1:]):
+        result = feed(state, segment, delivered, data)
+        assert state.ack == ISS, "ack moved before the head arrived"
+        assert result.was_ooo
+    head = feed(state, segments[0], delivered, data)
+    if len(segments) == 2:
+        expect_ack = seq_add(ISS, len(data))
+    else:
+        # Reversed arrival keeps only the highest contiguous run in the
+        # single interval; the head fill can cover at most head+interval.
+        expect_min = seq_add(ISS, len(segments[0].payload))
+        assert seq_diff(state.ack, expect_min) >= 0
+        expect_ack = None
+    if expect_ack is not None:
+        assert state.ack == expect_ack
+    assert head.notify_rx_len >= len(segments[0].payload)
