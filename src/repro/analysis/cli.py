@@ -1,23 +1,36 @@
 """``python -m repro lint`` / ``repro-lint``: run all analysis passes.
 
-Three passes over the tree, one exit code:
+Four passes over the tree, one exit code:
 
 1. **xdp-verifier** — every builtin XDP assembly program must pass the
    CFG dataflow verifier (:mod:`repro.analysis.verifier`);
 2. **stage-race** — the data-path stage modules must respect the
-   connection-state ownership partition (:mod:`repro.analysis.stagelint`);
-3. **sim-process** — no wall-clock time, global RNG, or non-event
+   connection-state ownership partition, including writes reached
+   through helper calls (:mod:`repro.analysis.stagelint`);
+3. **atomicity** — read-modify-writes by replicated stage instances
+   must be declared commutative atomic-add counters
+   (:func:`repro.analysis.stagelint.lint_atomicity`);
+4. **sim-process** — no wall-clock time, global RNG, or non-event
    yields in simulation code (:mod:`repro.analysis.simlint`).
 
 Exit status 0 when clean, 1 when any pass reports findings, so CI can
 gate on it directly. ``--json`` emits the stable machine-readable
-report from :mod:`repro.analysis.report`.
+report from :mod:`repro.analysis.report`; ``--baseline report.json``
+compares against a stored report and fails only on *new* findings.
 """
 
 import argparse
 import sys
 
-from repro.analysis.report import PASS_XDP, Finding, render_json, render_text
+from repro.analysis.report import (
+    PASS_ATOMIC,
+    PASS_XDP,
+    Finding,
+    diff_findings,
+    load_report,
+    render_json,
+    render_text,
+)
 
 
 def _verify_builtins():
@@ -60,6 +73,9 @@ def run_all(root=None):
     findings.extend(stagelint.lint_stages(stage_paths))
     checked["stage-race"] = len(stage_paths)
 
+    findings.extend(stagelint.lint_atomicity(stage_paths))
+    checked[PASS_ATOMIC] = len(stage_paths)
+
     sim_findings = simlint.lint_tree(root)
     findings.extend(sim_findings)
     checked["sim-process"] = _count_py_files(root)
@@ -83,7 +99,10 @@ def _count_py_files(root):
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Data-path safety analyzer: XDP verifier, stage race lint, sim-process lint.",
+        description=(
+            "Data-path safety analyzer: XDP verifier, stage race lint, "
+            "replicated-state atomicity lint, sim-process lint."
+        ),
     )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON report")
     parser.add_argument(
@@ -91,15 +110,33 @@ def main(argv=None):
         default=None,
         help="directory tree for the sim-process pass (default: the installed repro package)",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="REPORT_JSON",
+        help="fail only on findings not present in this stored JSON report",
+    )
     args = parser.parse_args(argv)
 
     findings, checked = run_all(args.root)
     findings.sort(key=lambda f: (f.pass_name, f.path, f.line))
+    gating = findings
+    if args.baseline is not None:
+        gating = diff_findings(findings, load_report(args.baseline))
+        gating.sort(key=lambda f: (f.pass_name, f.path, f.line))
     if args.json:
         print(render_json(findings, checked))
+    elif args.baseline is not None:
+        print(render_text(gating))
+        if len(findings) != len(gating):
+            print(
+                "repro lint: {} baseline-accepted finding{} suppressed".format(
+                    len(findings) - len(gating), "" if len(findings) - len(gating) == 1 else "s"
+                )
+            )
     else:
         print(render_text(findings))
-    return 1 if findings else 0
+    return 1 if gating else 0
 
 
 if __name__ == "__main__":

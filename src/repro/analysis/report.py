@@ -2,7 +2,15 @@
 
 Every pass produces :class:`Finding` records; the CLI renders them as
 human-readable text or a machine-readable JSON document (stable field
-names, so CI and tooling can gate on them).
+names, so CI and tooling can gate on them). Findings produced through
+call-graph summaries carry a ``via`` call chain (caller first, writer
+last) so a store attributed through helper indirection names the path
+that reaches it.
+
+:func:`diff_findings` implements the ``--baseline`` mode: compare a
+fresh run against a stored report and keep only *new* findings, so CI
+can gate on regressions without pre-existing accepted findings blocking
+unrelated changes.
 """
 
 import json
@@ -10,19 +18,25 @@ import json
 PASS_XDP = "xdp-verifier"
 PASS_STAGE = "stage-race"
 PASS_SIM = "sim-process"
+PASS_ATOMIC = "atomicity"
+
+REPORT_VERSION = 2
 
 
 class Finding:
     """One analysis diagnostic, anchored to a file location."""
 
-    __slots__ = ("pass_name", "path", "line", "code", "message")
+    __slots__ = ("pass_name", "path", "line", "code", "message", "via")
 
-    def __init__(self, pass_name, path, line, code, message):
+    def __init__(self, pass_name, path, line, code, message, via=()):
         self.pass_name = pass_name
         self.path = path
         self.line = int(line)
         self.code = code
         self.message = message
+        # Call chain for summary-attributed findings: caller-qualname
+        # first, writer-qualname last; empty for direct findings.
+        self.via = tuple(via)
 
     def to_dict(self):
         return {
@@ -31,6 +45,7 @@ class Finding:
             "line": self.line,
             "code": self.code,
             "message": self.message,
+            "via": list(self.via),
         }
 
     def __repr__(self):
@@ -46,9 +61,10 @@ def render_text(findings):
         return "repro lint: clean (0 findings)"
     lines = []
     for finding in findings:
+        via = " [via {}]".format(" -> ".join(finding.via)) if finding.via else ""
         lines.append(
-            "{}:{}: [{}] {} ({})".format(
-                finding.path, finding.line, finding.pass_name, finding.message, finding.code
+            "{}:{}: [{}] {}{} ({})".format(
+                finding.path, finding.line, finding.pass_name, finding.message, via, finding.code
             )
         )
     lines.append("repro lint: {} finding{}".format(len(findings), "" if len(findings) == 1 else "s"))
@@ -61,8 +77,43 @@ def render_json(findings, checked=None):
     for finding in findings:
         by_pass[finding.pass_name] = by_pass.get(finding.pass_name, 0) + 1
     document = {
-        "version": 1,
+        "version": REPORT_VERSION,
         "findings": [finding.to_dict() for finding in findings],
         "summary": {"total": len(findings), "by_pass": by_pass, "checked": dict(checked or {})},
     }
     return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _baseline_key(pass_name, path, code, message):
+    """Identity of a finding across runs and checkouts.
+
+    Line numbers drift with unrelated edits and absolute paths differ
+    between machines, so the key is (pass, repo-relative path, code,
+    message): stable for CI baselines.
+    """
+    path = path.replace("\\", "/")
+    marker = "/repro/"
+    cut = path.rfind(marker)
+    if cut >= 0:
+        path = "repro/" + path[cut + len(marker):]
+    return (pass_name, path, code, message)
+
+
+def load_report(path):
+    """Parse a JSON report produced by :func:`render_json`."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def diff_findings(findings, baseline_document):
+    """Findings not present in the baseline report (new regressions)."""
+    accepted = {
+        _baseline_key(f.get("pass", ""), f.get("path", ""), f.get("code", ""), f.get("message", ""))
+        for f in baseline_document.get("findings", [])
+    }
+    return [
+        finding
+        for finding in findings
+        if _baseline_key(finding.pass_name, finding.path, finding.code, finding.message)
+        not in accepted
+    ]

@@ -1,4 +1,4 @@
-"""Opt-in runtime ownership sanitizer for protocol state.
+"""Opt-in runtime ownership sanitizer for partitioned connection state.
 
 The static race lint proves stage *code* respects the ownership
 contract; this sanitizer checks it dynamically for whatever actually
@@ -6,19 +6,28 @@ executes, including extension modules and future refactors the lint's
 heuristics might miss. With ``REPRO_SANITIZE=1`` (or a programmatic
 :func:`install`):
 
-* every :class:`~repro.flextoe.state.ProtocolState` installed in a
-  connection table is registered with its owning flow group;
+* every partition of a connection installed in a connection table
+  (:class:`~repro.flextoe.state.PreprocState`,
+  :class:`~repro.flextoe.state.ProtocolState`,
+  :class:`~repro.flextoe.state.PostprocState`) is registered with its
+  owning flow group;
 * every data-path stage process runs wrapped so the sanitizer knows
   which stage kind (and flow group) is executing between yields —
   the simulator is single-threaded, so the currently-resumed process
   is exactly the code performing a write;
-* instrumented ``ProtocolState.__setattr__`` raises
-  :class:`SanitizerError` on any write from a non-protocol stage, or
-  from a protocol stage of a *different* flow group.
+* instrumented ``__setattr__`` enforces Table 5 ownership:
+  ``PreprocState`` is immutable once registered (the identification
+  partition is control-plane-installed); ``ProtocolState`` accepts
+  writes only from the atomic protocol stage of the owning flow group;
+  ``PostprocState`` accepts writes only from the owning group's post
+  stage (or the run-to-completion worker, which executes the post logic
+  inline under its ``proto`` token).
 
-Writes with no stage context (control-plane setup, tests constructing
-state directly) are allowed: the invariant being enforced is data-path
-stage ownership, not construction.
+Writes to Protocol/Postproc state with no stage context (control-plane
+setup and polls, tests constructing state directly) are allowed: the
+invariant being enforced is data-path stage ownership, not
+construction. Pre-processor state is stricter — after registration any
+write raises, stage context or not.
 
 The hooks are deliberately cheap no-ops when not installed, so the
 production path pays one module-level boolean check at datapath
@@ -29,6 +38,8 @@ import os
 
 #: Stage kind allowed to mutate protocol state.
 PROTO_STAGE = "proto"
+#: Stage kind owning the post-processor partition.
+POST_STAGE = "post"
 
 _OWNER_STACK = []
 # id(state) -> (flow_group, state). The strong reference pins the object
@@ -36,7 +47,8 @@ _OWNER_STACK = []
 # unregister (connection removal) or uninstall.
 _REGISTRY = {}
 _installed = False
-_original_setattr = None
+# class -> original __setattr__, for uninstall.
+_original_setattrs = {}
 
 
 class SanitizerError(AssertionError):
@@ -54,50 +66,89 @@ def maybe_install_from_env():
     return _installed
 
 
+def _check_pre(self, name, owning_group):
+    raise SanitizerError(
+        "write to PreprocState.{} (flow group {}): the identification "
+        "partition is installed by the control plane and immutable".format(name, owning_group)
+    )
+
+
+def _check_proto(self, name, owning_group):
+    if not _OWNER_STACK:
+        return  # control plane / construction
+    stage, group = _OWNER_STACK[-1]
+    if stage != PROTO_STAGE:
+        raise SanitizerError(
+            "stage '{}' wrote ProtocolState.{} (flow group {}): only "
+            "the atomic protocol stage may mutate protocol state".format(
+                stage, name, owning_group
+            )
+        )
+    if group is not None and group != owning_group:
+        raise SanitizerError(
+            "protocol stage of flow group {} wrote ProtocolState.{} "
+            "owned by flow group {}: cross-flow-group write".format(
+                group, name, owning_group
+            )
+        )
+
+
+def _check_post(self, name, owning_group):
+    if not _OWNER_STACK:
+        return  # control-plane poll (take_cc_stats, fold_rtt_samples)
+    stage, group = _OWNER_STACK[-1]
+    # The run-to-completion worker executes the post logic inline under
+    # its 'proto' token; pipelined mode tags real post threads 'post'.
+    if stage not in (POST_STAGE, PROTO_STAGE):
+        raise SanitizerError(
+            "stage '{}' wrote PostprocState.{} (flow group {}): only the "
+            "owning post stage may mutate the app-interface partition".format(
+                stage, name, owning_group
+            )
+        )
+    if group is not None and group != owning_group:
+        raise SanitizerError(
+            "{} stage of flow group {} wrote PostprocState.{} owned by "
+            "flow group {}: cross-flow-group write".format(
+                stage, group, name, owning_group
+            )
+        )
+
+
 def install():
-    """Instrument ``ProtocolState.__setattr__`` (idempotent)."""
-    global _installed, _original_setattr
+    """Instrument the three partition classes' ``__setattr__`` (idempotent)."""
+    global _installed
     if _installed:
         return
-    from repro.flextoe.state import ProtocolState
+    from repro.flextoe.state import PostprocState, PreprocState, ProtocolState
 
-    _original_setattr = ProtocolState.__setattr__
+    checks = (
+        (PreprocState, _check_pre),
+        (ProtocolState, _check_proto),
+        (PostprocState, _check_post),
+    )
+    for cls, check in checks:
+        original = cls.__setattr__
+        _original_setattrs[cls] = original
 
-    def _guarded_setattr(self, name, value):
-        if _OWNER_STACK:
+        def _guarded_setattr(self, name, value, _original=original, _check=check):
             entry = _REGISTRY.get(id(self))
             if entry is not None and entry[1] is self:
-                stage, group = _OWNER_STACK[-1]
-                owning_group = entry[0]
-                if stage != PROTO_STAGE:
-                    raise SanitizerError(
-                        "stage '{}' wrote ProtocolState.{} (flow group {}): only "
-                        "the atomic protocol stage may mutate protocol state".format(
-                            stage, name, owning_group
-                        )
-                    )
-                if group is not None and group != owning_group:
-                    raise SanitizerError(
-                        "protocol stage of flow group {} wrote ProtocolState.{} "
-                        "owned by flow group {}: cross-flow-group write".format(
-                            group, name, owning_group
-                        )
-                    )
-        _original_setattr(self, name, value)
+                _check(self, name, entry[0])
+            _original(self, name, value)
 
-    ProtocolState.__setattr__ = _guarded_setattr
+        cls.__setattr__ = _guarded_setattr
     _installed = True
 
 
 def uninstall():
     """Remove the instrumentation and forget all registrations."""
-    global _installed, _original_setattr
+    global _installed
     if not _installed:
         return
-    from repro.flextoe.state import ProtocolState
-
-    ProtocolState.__setattr__ = _original_setattr
-    _original_setattr = None
+    for cls, original in _original_setattrs.items():
+        cls.__setattr__ = original
+    _original_setattrs.clear()
     _installed = False
     _REGISTRY.clear()
     del _OWNER_STACK[:]

@@ -13,6 +13,13 @@ path-sensitive:
   context, stack, packet, and map-value pointers are bounds-checked
   against their region, packet accesses additionally against the
   bounds comparisons performed on that path;
+* scalar values are tracked as interval × tnum ranges
+  (:mod:`repro.analysis.dataflow`), refined by conditional branches, so
+  a packet offset *computed from loaded data* (e.g. a masked and
+  shifted IHL byte) can still be proven in bounds: the variable offset
+  folds into the packet pointer under a fresh id, and a single
+  ``data_end`` comparison through any pointer sharing the id covers
+  them all;
 * map-value pointers must be null-checked before dereference;
 * helper calls name known helpers, pass a compile-time map fd, pass
   initialized key/value buffers of the map's sizes, and clobber r1-r5.
@@ -27,16 +34,27 @@ from repro.analysis.dataflow import (
     MAP_VALUE_OR_NULL,
     PKT_END,
     PKT_PTR,
+    PKT_VAR_BOUND,
     SCALAR,
     STACK_PTR,
     STACK_SIZE,
+    U64,
     AbsState,
+    Interval,
     RegVal,
+    ScalarVal,
+    Tnum,
 )
 from repro.xdp.vm import HELPER_MAP_DELETE, HELPER_MAP_LOOKUP, HELPER_MAP_UPDATE
 
 MAX_PROGRAM_LEN = 4096
 CTX_SIZE = 16
+
+#: In-state updates per instruction before the merge switches from meet
+#: to widen. The CFG is a DAG (back-edges are rejected structurally), so
+#: this is convergence acceleration for long join chains, not a
+#: termination requirement.
+WIDEN_AFTER = 16
 
 VALID_HELPERS = {HELPER_MAP_LOOKUP, HELPER_MAP_UPDATE, HELPER_MAP_DELETE}
 
@@ -52,19 +70,23 @@ _SIZES = {"b": 1, "h": 2, "w": 4, "dw": 8}
 _ALU_BASES = frozenset(
     ("add", "sub", "mul", "div", "mod", "and", "or", "xor", "lsh", "rsh", "arsh", "neg")
 )
-_CONST_OPS = {
-    "add": lambda a, b: a + b,
-    "sub": lambda a, b: a - b,
-    "mul": lambda a, b: a * b,
-    "and": lambda a, b: a & b,
-    "or": lambda a, b: a | b,
-    "xor": lambda a, b: a ^ b,
-}
 
 # (jump base, branch taken?) pairs proving pkt + N <= data_end when the
 # packet pointer is the dst operand / the src operand respectively.
 _PKT_DST_PROOFS = {("jgt", False), ("jge", False), ("jle", True), ("jlt", True)}
 _PKT_SRC_PROOFS = {("jlt", False), ("jle", False), ("jge", True), ("jgt", True)}
+
+#: Unsigned compares refinable against a constant. Signed compares are
+#: left unrefined (sound: refinement only ever narrows).
+_REFINABLE = frozenset(("jeq", "jne", "jgt", "jge", "jlt", "jle", "jset"))
+
+#: dst-op equivalent when a constant appears on the *dst* side instead.
+_SWAPPED = {"jgt": "jlt", "jlt": "jgt", "jge": "jle", "jle": "jge", "jeq": "jeq", "jne": "jne"}
+
+
+def _to_signed(value):
+    value &= U64
+    return value - (1 << 64) if value >= 1 << 63 else value
 
 
 class VerifierError(Exception):
@@ -81,9 +103,14 @@ class _Verifier:
     def __init__(self, program, maps):
         self.program = program
         self.maps = maps
+        self._next_vid = 0
 
     def err(self, index, message):
         raise VerifierError("insn {}: {}".format(index, message))
+
+    def fresh_vid(self):
+        self._next_vid += 1
+        return self._next_vid
 
     # -- driver ------------------------------------------------------------
 
@@ -138,14 +165,21 @@ class _Verifier:
         program = self.program
         in_states = [None] * len(program)
         in_states[0] = AbsState()
+        updates = [0] * len(program)
         worklist = [0]
         while worklist:
             index = worklist.pop()
             state = in_states[index]
             for succ, out in self.transfer(index, state.copy()):
-                merged = out if in_states[succ] is None else in_states[succ].meet(out)
+                if in_states[succ] is None:
+                    merged = out
+                elif updates[succ] >= WIDEN_AFTER:
+                    merged = in_states[succ].widen(out)
+                else:
+                    merged = in_states[succ].meet(out)
                 if in_states[succ] is None or merged != in_states[succ]:
                     in_states[succ] = merged
+                    updates[succ] += 1
                     worklist.append(succ)
         return in_states
 
@@ -155,8 +189,8 @@ class _Verifier:
         """Apply ``program[index]`` to ``state``.
 
         Returns ``(successor index, out state)`` pairs, one per CFG
-        edge, with branch facts (packet bounds, null checks) refined
-        per edge.
+        edge, with branch facts (packet bounds, null checks, scalar
+        ranges) refined per edge.
         """
         insn = self.program[index]
         base, _, mode = insn.op.partition(".")
@@ -177,7 +211,7 @@ class _Verifier:
         if base in ("mov", "mov32"):
             self.apply_mov(index, insn, state, base, mode)
         elif base == "lddw":
-            state.regs[insn.dst] = RegVal.scalar(insn.imm)
+            state.regs[insn.dst] = RegVal.scalar(insn.imm & U64)
         elif base.startswith("ldx"):
             self.apply_load(index, insn, state, _SIZES[base[3:]])
         elif base.startswith("stx"):
@@ -199,11 +233,13 @@ class _Verifier:
             value = state.regs[insn.src]
             if base == "mov32":
                 # Truncation destroys pointer provenance.
-                const = value.const & 0xFFFFFFFF if value.const is not None else None
-                value = RegVal.scalar(const if value.kind == SCALAR else None)
+                if value.kind == SCALAR:
+                    value = RegVal.scalar_val(value.val.trunc32())
+                else:
+                    value = RegVal.scalar_val(ScalarVal.bounded((1 << 32) - 1))
             state.regs[insn.dst] = value
         else:
-            imm = insn.imm & (0xFFFFFFFF if base == "mov32" else (1 << 64) - 1)
+            imm = insn.imm & (0xFFFFFFFF if base == "mov32" else U64)
             state.regs[insn.dst] = RegVal.scalar(imm)
 
     def apply_alu(self, index, insn, state, base, mode):
@@ -214,34 +250,55 @@ class _Verifier:
         if mode == "reg" and not unary:
             self.check_read(index, state, insn.src, "ALU")
         dst = state.regs[insn.dst]
-        src = state.regs[insn.src] if mode == "reg" else RegVal.scalar(insn.imm)
         if unary:
-            state.regs[insn.dst] = RegVal.scalar()
+            if base[:2] in ("be", "le") and base[2:].isdigit():
+                width = int(base[2:])
+                state.regs[insn.dst] = RegVal.scalar_val(ScalarVal.bounded((1 << width) - 1))
+            elif op == "neg" and dst.kind == SCALAR and not alu32:
+                state.regs[insn.dst] = RegVal.scalar_val(dst.val.neg())
+            else:
+                state.regs[insn.dst] = RegVal.scalar()
             return
         if op not in _ALU_BASES and base[:2] not in ("be", "le"):
             # Unknown mnemonic: treat as an opaque scalar-producing ALU op
             # (the VM will fault on it anyway).
             state.regs[insn.dst] = RegVal.scalar()
             return
+        src = state.regs[insn.src] if mode == "reg" else RegVal.scalar(insn.imm & U64)
         if not alu32 and op in ("add", "sub") and dst.is_pointer and src.kind == SCALAR:
-            delta = src.const
-            if delta is not None and dst.off is not None:
-                new_off = dst.off + delta if op == "add" else dst.off - delta
-            else:
-                new_off = None
-            state.regs[insn.dst] = RegVal(dst.kind, off=new_off, fd=dst.fd)
+            state.regs[insn.dst] = self.pointer_math(op, dst, src)
             return
         if not alu32 and op == "add" and src.is_pointer and dst.kind == SCALAR:
-            off = src.off + dst.const if src.off is not None and dst.const is not None else None
-            state.regs[insn.dst] = RegVal(src.kind, off=off, fd=src.fd)
+            state.regs[insn.dst] = self.pointer_math(op, src, dst)
             return
-        if dst.kind == SCALAR and src.kind == SCALAR and op in _CONST_OPS and not alu32:
-            if dst.const is not None and src.const is not None:
-                state.regs[insn.dst] = RegVal.scalar(_CONST_OPS[op](dst.const, src.const))
-                return
-        # Pointer arithmetic beyond +/- constant, 32-bit ops on pointers,
-        # and unknown-operand math all degrade to an unknown scalar.
+        if dst.kind == SCALAR and src.kind == SCALAR:
+            state.regs[insn.dst] = RegVal.scalar_val(_scalar_alu(op, dst.val, src.val, alu32))
+            return
+        # 32-bit ops on pointers and pointer-pointer math degrade to an
+        # unknown scalar (provenance destroyed).
         state.regs[insn.dst] = RegVal.scalar()
+
+    def pointer_math(self, op, pointer, scalar):
+        """``pointer ± scalar``: constant deltas adjust the offset; a
+        bounded unknown folds into a packet pointer's variable part
+        under a fresh id (any prior bounds proof no longer applies)."""
+        delta = scalar.const
+        if delta is not None:
+            if pointer.off is None:
+                return RegVal(pointer.kind, off=None, fd=pointer.fd)
+            delta = _to_signed(delta)
+            off = pointer.off + delta if op == "add" else pointer.off - delta
+            return RegVal(pointer.kind, off=off, fd=pointer.fd, vid=pointer.vid, var=pointer.var)
+        if (
+            op == "add"
+            and pointer.kind == PKT_PTR
+            and pointer.off is not None
+            and scalar.val.hi <= PKT_VAR_BOUND
+        ):
+            var = scalar.val if pointer.var is None else pointer.var.add(scalar.val)
+            if var.hi <= 4 * PKT_VAR_BOUND:
+                return RegVal(PKT_PTR, off=pointer.off, vid=self.fresh_vid(), var=var)
+        return RegVal(pointer.kind, off=None, fd=pointer.fd)
 
     # -- memory ------------------------------------------------------------
 
@@ -254,13 +311,22 @@ class _Verifier:
             self.err(index, "memory access through non-pointer ({})".format(kind))
         if pointer.off is None:
             self.err(index, "pointer offset unknown after join; access cannot be bounded")
-        off = pointer.off + extra_off
+        var = pointer.var
+        var_lo = var.lo if var is not None else 0
+        var_hi = var.hi if var is not None else 0
+        lo = pointer.off + var_lo + extra_off
+        hi = pointer.off + var_hi + extra_off
         if kind == CTX_PTR:
             if writing:
                 self.err(index, "store to read-only context")
-            if off < 0 or off + size > CTX_SIZE:
-                self.err(index, "context access [{}, {}) out of bounds".format(off, off + size))
+            if var is not None:
+                self.err(index, "context access requires a constant offset")
+            if lo < 0 or lo + size > CTX_SIZE:
+                self.err(index, "context access [{}, {}) out of bounds".format(lo, lo + size))
         elif kind == STACK_PTR:
+            if var is not None:
+                self.err(index, "variable stack offset cannot be tracked")
+            off = lo
             if off < -STACK_SIZE or off + size > 0:
                 self.err(index, "stack access [{}, {}) out of bounds".format(off, off + size))
             mask = ((1 << size) - 1) << (STACK_SIZE + off)
@@ -269,23 +335,50 @@ class _Verifier:
             elif state.stack_init & mask != mask:
                 self.err(index, "read of uninitialized stack bytes at r10{:+d}".format(off))
         elif kind == PKT_PTR:
-            if off < 0 or off + size > state.pkt_valid:
+            if lo < 0:
                 self.err(
                     index,
                     "packet access [{}, {}) outside verified bounds "
-                    "({} bytes checked against data_end on this path)".format(
-                        off, off + size, state.pkt_valid
-                    ),
+                    "(negative offset)".format(lo, lo + size),
                 )
+            if var is None:
+                if lo + size > state.pkt_valid:
+                    self.err(
+                        index,
+                        "packet access [{}, {}) outside verified bounds "
+                        "({} bytes checked against data_end on this path)".format(
+                            lo, lo + size, state.pkt_valid
+                        ),
+                    )
+            else:
+                # A data_end comparison through a pointer sharing this
+                # vid proved base' + var <= data; the variable part
+                # cancels, so base + k + size <= base' suffices.
+                checked = state.pkt_checked.get(pointer.vid)
+                if checked is not None and pointer.off + extra_off + size <= checked:
+                    pass
+                elif hi + size <= state.pkt_valid:
+                    pass
+                else:
+                    self.err(
+                        index,
+                        "packet access [{}, {}) outside verified bounds "
+                        "(variable offset in {}; {} bytes checked on this path)".format(
+                            lo,
+                            hi + size,
+                            var.interval,
+                            state.pkt_valid if checked is None else checked,
+                        ),
+                    )
         elif kind == MAP_VALUE:
-            if off < 0:
-                self.err(index, "negative map-value offset {}".format(off))
+            if lo < 0:
+                self.err(index, "negative map-value offset {}".format(lo))
             value_size = self.map_value_size(pointer.fd)
-            if value_size is not None and off + size > value_size:
+            if value_size is not None and hi + size > value_size:
                 self.err(
                     index,
                     "map-value access [{}, {}) exceeds value size {}".format(
-                        off, off + size, value_size
+                        lo, hi + size, value_size
                     ),
                 )
         else:  # PKT_END and anything else is never dereferenceable
@@ -302,7 +395,13 @@ class _Verifier:
         self.check_read(index, state, insn.src, "load")
         pointer = state.regs[insn.src]
         self.region_check(index, state, pointer, insn.off, size, writing=False)
-        result = RegVal.scalar()
+        if size < 8:
+            # A size-bounded load: the interval and the tnum both know
+            # the high bits are zero (this is what lets ldxb-derived
+            # header offsets stay bounded through masks and shifts).
+            result = RegVal.scalar_val(ScalarVal.bounded((1 << (8 * size)) - 1))
+        else:
+            result = RegVal.scalar()
         if pointer.kind == CTX_PTR and size == 8:
             off = pointer.off + insn.off
             if off == 0:
@@ -361,18 +460,131 @@ class _Verifier:
             proven = None
             if dst.kind == PKT_PTR and src.kind == PKT_END and dst.off is not None:
                 if (base, taken) in _PKT_DST_PROOFS:
-                    proven = dst.off
+                    proven = dst
             elif dst.kind == PKT_END and src.kind == PKT_PTR and src.off is not None:
                 if (base, taken) in _PKT_SRC_PROOFS:
-                    proven = src.off
-            if proven is not None and proven > state.pkt_valid:
-                state.pkt_valid = proven
-        elif insn.imm == 0 and base in ("jeq", "jne"):
+                    proven = src
+            if proven is not None:
+                self._record_pkt_proof(state, proven)
+            if dst.kind == SCALAR and src.kind == SCALAR:
+                if src.const is not None and base in _REFINABLE:
+                    state.regs[insn.dst] = _refine_scalar(dst, base, src.const, taken)
+                elif dst.const is not None and base in _SWAPPED:
+                    state.regs[insn.src] = _refine_scalar(
+                        src, _SWAPPED[base], dst.const, taken
+                    )
+        else:
             reg = state.regs[insn.dst]
-            if reg.kind == MAP_VALUE_OR_NULL:
+            if insn.imm == 0 and base in ("jeq", "jne") and reg.kind == MAP_VALUE_OR_NULL:
                 null_edge = (base == "jeq") == taken
                 if null_edge:
                     state.regs[insn.dst] = RegVal.scalar(0)
                 else:
                     state.regs[insn.dst] = RegVal.pointer(MAP_VALUE, reg.off or 0, fd=reg.fd)
+            elif reg.kind == SCALAR and base in _REFINABLE:
+                state.regs[insn.dst] = _refine_scalar(reg, base, insn.imm & U64, taken)
         return state
+
+    def _record_pkt_proof(self, state, pointer):
+        """``pointer <= data_end`` holds on this edge."""
+        if pointer.var is None:
+            if pointer.off > state.pkt_valid:
+                state.pkt_valid = pointer.off
+            return
+        # Variable pointer: record the constant part under the vid (the
+        # variable part cancels against same-vid accesses), and bump the
+        # unconditional bound by what the variable's minimum guarantees.
+        current = state.pkt_checked.get(pointer.vid)
+        if current is None or pointer.off > current:
+            state.pkt_checked[pointer.vid] = pointer.off
+        floor = pointer.off + pointer.var.lo
+        if floor > state.pkt_valid:
+            state.pkt_valid = floor
+
+
+def _scalar_alu(op, a, b, alu32):
+    """Interval × tnum transfer for one scalar ALU op."""
+    if alu32:
+        a, b = a.trunc32(), b.trunc32()
+    if op == "add":
+        result = a.add(b)
+    elif op == "sub":
+        result = a.sub(b)
+    elif op == "mul":
+        result = a.mul(b)
+    elif op == "div":
+        result = a.udiv(b)
+    elif op == "mod":
+        result = a.umod(b)
+    elif op == "and":
+        result = a.and_(b)
+    elif op == "or":
+        result = a.or_(b)
+    elif op == "xor":
+        result = a.xor_(b)
+    elif op == "lsh":
+        result = a.lsh(b)
+    elif op == "rsh":
+        result = a.rsh(b)
+    elif op == "arsh" and not alu32:
+        result = a.arsh(b)
+    else:
+        result = ScalarVal.top()
+    if alu32:
+        result = result.trunc32()
+    return result
+
+
+def _refine_scalar(reg, base, const, taken):
+    """Narrow ``reg`` by an unsigned compare against ``const`` on one edge.
+
+    Refinements that would empty the range (infeasible edges) leave the
+    register unchanged — sound, merely imprecise.
+    """
+    val = reg.val
+    interval = val.interval
+    tnum = val.tnum
+    lo, hi = interval.lo, interval.hi
+    const &= U64
+    # Normalize to the predicate that holds on this edge.
+    if base == "jne":
+        base, taken = "jeq", not taken
+    if base == "jeq":
+        if taken:
+            if not val.contains(const):
+                return reg  # infeasible edge
+            return RegVal.scalar(const)
+        # != const: trim a matching endpoint.
+        if lo == const and lo < hi:
+            lo += 1
+        elif hi == const and lo < hi:
+            hi -= 1
+    elif base == "jset":
+        if not taken:
+            # (reg & const) == 0: every bit of const is known zero.
+            narrowed = tnum.intersect(Tnum(0, ~const & U64))
+            if narrowed is not None:
+                tnum = narrowed
+    elif base == "jgt":
+        if taken:
+            lo = max(lo, const + 1) if const < U64 else lo
+        else:
+            hi = min(hi, const)
+    elif base == "jge":
+        if taken:
+            lo = max(lo, const)
+        elif const > 0:
+            hi = min(hi, const - 1)
+    elif base == "jlt":
+        if taken:
+            hi = min(hi, const - 1) if const > 0 else hi
+        else:
+            lo = max(lo, const)
+    elif base == "jle":
+        if taken:
+            hi = min(hi, const)
+        else:
+            lo = max(lo, const + 1) if const < U64 else lo
+    if lo > hi:
+        return reg  # infeasible edge: no refinement
+    return RegVal.scalar_val(ScalarVal.make(Interval(lo, hi), tnum))

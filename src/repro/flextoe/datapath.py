@@ -329,7 +329,10 @@ class FlexToeDatapath:
         self.conn_table.install(record)
         self.lookup_engine.insert(record.four_tuple, record.index)
         if sanitizer.enabled():
-            sanitizer.register(record.proto, record.pre.flow_group)
+            group = record.pre.flow_group
+            sanitizer.register(record.pre, group)
+            sanitizer.register(record.proto, group)
+            sanitizer.register(record.post, group)
 
     def remove_connection(self, index):
         record = self.conn_table.remove(index)
@@ -339,7 +342,31 @@ class FlexToeDatapath:
             self.lookup_engine.remove(record.four_tuple)
             self.scheduler.remove_flow(index)
             if sanitizer.enabled():
+                sanitizer.unregister(record.pre)
                 sanitizer.unregister(record.proto)
+                sanitizer.unregister(record.post)
         for stage in self.protocol_stages:
             stage.state_cache.invalidate(index)
+        for stage in self.post_stages:
+            stage.take_rtt_samples(index)
         return record
+
+    def drain_rtt(self, index):
+        """Aggregate per-replica RTT samples into the connection's EWMA.
+
+        Replicated post instances accumulate (total, count) privately —
+        ``rtt_est`` is an EWMA, so a shared read-modify-write would lose
+        updates. The fold happens here, at context/control granularity
+        (the paper's context stage is the serialization point toward the
+        host), from a single site per poll.
+        """
+        record = self.conn_table.get(index)
+        if record is None:
+            return
+        total = 0
+        count = 0
+        for stage in self.post_stages:
+            stage_total, stage_count = stage.take_rtt_samples(index)
+            total += stage_total
+            count += stage_count
+        record.post.fold_rtt_samples(total, count)

@@ -121,10 +121,15 @@ class FlexToeNic:
         self.datapath.nic_transmit_direct(frame)
 
     def read_cc_stats(self, index):
-        """Control-plane poll of a connection's congestion statistics."""
+        """Control-plane poll of a connection's congestion statistics.
+
+        Folds the replicated post stages' private RTT accumulators into
+        the EWMA first, so the estimate reflects samples up to this poll.
+        """
         record = self.datapath.conn_table.get(index)
         if record is None:
             return None
+        self.datapath.drain_rtt(index)
         return record.post.take_cc_stats()
 
     def set_flow_rate(self, index, bytes_per_sec):

@@ -22,6 +22,7 @@ from repro.flextoe.descriptors import (
     WORK_TX,
 )
 from repro.flextoe.module import ACTION_DROP, ACTION_REDIRECT, ACTION_TX
+from repro.flextoe.state import atomic_add
 from repro.nfp.cam import Cam
 from repro.nfp.memory import LAT_LMEM
 from repro.proto.ethernet import ETHERTYPE_IPV4, EthernetHeader
@@ -383,6 +384,15 @@ class PostStage:
         # Cumulative (never reset), unlike post.cnt_fretx which the
         # congestion-control stats drain consumes and clears.
         self.fast_retransmits = 0
+        # conn_index -> (total_us, count): this replica's private RTT
+        # sample accumulator. rtt_est is an EWMA — not commutative — so
+        # replicas must not read-modify-write it; the datapath drains
+        # these into PostprocState.fold_rtt_samples at poll time.
+        self.rtt_samples = {}
+
+    def take_rtt_samples(self, conn_index):
+        """Drain this replica's (total_us, count) RTT accumulator."""
+        return self.rtt_samples.pop(conn_index, (0, 0))
 
     def program(self, thread):
         dp = self.dp
@@ -418,20 +428,23 @@ class PostStage:
         post = record.post
         cycles = costs.post_stats
         # Stats: congestion-control counters, read by the control plane.
+        # Counters are commutative and go through the atomic-add engine
+        # (declared in state.atomic()); replicated post instances may
+        # update them concurrently without losing increments.
         if snapshot.acked_bytes > 0:
-            post.cnt_ackb += snapshot.acked_bytes
+            cycles += atomic_add(post, "cnt_ackb", snapshot.acked_bytes)
             if snapshot.ece:
-                post.cnt_ecnb += snapshot.acked_bytes
+                cycles += atomic_add(post, "cnt_ecnb", snapshot.acked_bytes)
         if snapshot.fast_retransmit:
-            post.cnt_fretx = min(255, post.cnt_fretx + 1)
+            cycles += atomic_add(post, "cnt_fretx", 1, maximum=255)
             self.fast_retransmits += 1
         if snapshot.rtt_sample_ecr is not None and post.use_timestamps:
             sample = (now_us(dp.sim) - snapshot.rtt_sample_ecr) & 0xFFFFFFFF
             if sample < 1_000_000:  # discard absurd samples (wrap)
-                if post.rtt_est == 0:
-                    post.rtt_est = sample
-                else:
-                    post.rtt_est = (7 * post.rtt_est + sample) // 8
+                # EWMA is not commutative: accumulate privately per
+                # replica; drained at context-stage granularity.
+                total, count = self.rtt_samples.get(work.conn_index, (0, 0))
+                self.rtt_samples[work.conn_index] = (total + sample, count + 1)
         # FS: flow-scheduler refresh (NIC-internal memory write).
         if snapshot.fs_sendable is not None:
             dp.scheduler.fs_update(work.conn_index, snapshot.fs_sendable)

@@ -3,9 +3,58 @@
 Each stage owns exactly one partition; cross-stage information travels as
 metadata on the work item (the module-API rule of §3.3). The partition
 sizes reproduce the paper's 108 bytes per connection.
+
+Replicated stage instances of one flow group share their partition, so a
+plain read-modify-write from a replicated stage is a lost-update race on
+hardware. Fields that are *commutative counters* may instead use the NFP
+atomic-add engine; they must be declared in the :func:`atomic` registry,
+which the static atomicity lint checks and which :func:`atomic_add` uses
+to charge the engine's issue latency in the simulator.
 """
 
+from repro.nfp.memory import LAT_ATOMIC_ADD
 from repro.proto.tcp import seq_add
+
+# field name -> partition, for every declared commutative atomic-add
+# counter. Populated by the module-level atomic() declarations below;
+# repro.analysis.stagelint parses the same declarations statically.
+_ATOMIC_FIELDS = {}
+
+
+def atomic(partition, *fields):
+    """Declare ``fields`` of ``partition`` as atomic-add counters.
+
+    The declaration is a contract: updates are commutative additions
+    performed by the memory engine, never read-modify-writes in stage
+    code, so replicated stage instances may update them concurrently.
+    """
+    for field in fields:
+        _ATOMIC_FIELDS[field] = partition
+    return fields
+
+
+def atomic_fields():
+    """Copy of the registry: ``{field: partition}``."""
+    return dict(_ATOMIC_FIELDS)
+
+
+def atomic_add(target, field, delta, maximum=None):
+    """Atomic-engine add of ``delta`` to ``target.field``.
+
+    ``maximum`` models saturating 8-bit counters (``cnt_fretx``).
+    Returns the FPC cycles to charge (the engine's issue cost — the
+    FPC fires the command and does not wait for the EMEM round trip).
+    Only registry-declared fields may be updated this way.
+    """
+    if field not in _ATOMIC_FIELDS:
+        raise ValueError(
+            "atomic_add on '{}': not declared in the atomic() registry".format(field)
+        )
+    value = getattr(target, field) + delta
+    if maximum is not None:
+        value = min(maximum, value)
+    setattr(target, field, value)
+    return LAT_ATOMIC_ADD
 
 
 class PreprocState:
@@ -144,6 +193,28 @@ class PostprocState:
         self.cnt_ecnb = 0
         self.cnt_fretx = 0
         return stats
+
+    def fold_rtt_samples(self, total_us, count):
+        """Fold a batch of RTT samples into the EWMA estimate.
+
+        Replicated post stages accumulate samples per replica (no shared
+        read-modify-write); the drain at context-stage granularity folds
+        the batch mean in here, from a single site. No-op when the batch
+        is empty.
+        """
+        if count <= 0:
+            return
+        mean = total_us // count
+        if self.rtt_est == 0:
+            self.rtt_est = mean
+        else:
+            self.rtt_est = (7 * self.rtt_est + mean) // 8
+
+
+#: Congestion-control counters the replicated post stage updates via the
+#: atomic-add engine (paper §3.1: Stats is replicated; Laminar's
+#: atomic/aggregate classification of replicated state).
+atomic("post", "cnt_ackb", "cnt_ecnb", "cnt_fretx")
 
 
 TOTAL_STATE_BYTES = PreprocState.SIZE_BYTES + ProtocolState.SIZE_BYTES + PostprocState.SIZE_BYTES

@@ -14,6 +14,13 @@ LAT_IMEM = 250
 LAT_EMEM_CACHE = 150
 LAT_EMEM = 500
 
+#: Issue-side cost of a fire-and-forget atomic add on the EMEM atomic
+#: engine. The FPC does not wait for the full EMEM round trip — it posts
+#: the command and moves on — so replicated-counter updates (declared via
+#: the ``atomic()`` registry in :mod:`repro.flextoe.state`) charge this
+#: instead of ``LAT_EMEM``.
+LAT_ATOMIC_ADD = 20
+
 
 class MemoryLevel:
     """One memory level with byte-granularity allocation accounting."""

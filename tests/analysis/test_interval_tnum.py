@@ -1,0 +1,232 @@
+"""Soundness of the interval × tnum abstract domain (hypothesis).
+
+Every abstract operator must over-approximate the concrete u64
+semantics: if concrete values are members of the operand abstractions,
+the concrete result must be a member of the abstract result. Join must
+include both operands, widening must include the join, and the widening
+chain must terminate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dataflow import U64, Interval, ScalarVal, Tnum
+
+u64 = st.integers(min_value=0, max_value=U64)
+small_shift = st.integers(min_value=0, max_value=63)
+
+
+@st.composite
+def interval_with_member(draw):
+    a, b = draw(u64), draw(u64)
+    lo, hi = min(a, b), max(a, b)
+    return Interval(lo, hi), draw(st.integers(min_value=lo, max_value=hi))
+
+
+@st.composite
+def tnum_with_member(draw):
+    mask = draw(u64)
+    value = draw(u64) & ~mask & U64
+    return Tnum(value, mask), (value | (draw(u64) & mask)) & U64
+
+
+@st.composite
+def scalar_with_member(draw):
+    interval, x = draw(interval_with_member())
+    # A tnum consistent with x: know a random subset of x's bits.
+    mask = draw(u64)
+    tnum = Tnum(x & ~mask & U64, mask)
+    value = ScalarVal.make(interval, tnum)
+    assert value.contains(x)
+    return value, x
+
+
+# -- lattice ------------------------------------------------------------------
+
+
+@given(interval_with_member(), interval_with_member())
+def test_interval_join_is_upper_bound(a, b):
+    joined = a[0].join(b[0])
+    assert joined.contains(a[1]) and joined.contains(b[1])
+
+
+@given(interval_with_member(), interval_with_member())
+def test_interval_widen_covers_join(a, b):
+    widened = a[0].widen(b[0])
+    assert widened.contains(a[1]) and widened.contains(b[1])
+
+
+@given(interval_with_member())
+def test_interval_widen_chain_terminates(a):
+    # Widening against ever-growing arguments must reach a fixpoint in a
+    # bounded number of steps (the threshold ladder has 4 rungs + top).
+    current = a[0]
+    for _ in range(6):
+        grown = Interval(max(0, current.lo - 1), min(U64, current.hi + 1))
+        widened = current.widen(grown)
+        if widened == current:
+            break
+        current = widened
+    assert current.widen(Interval(max(0, current.lo - 1), min(U64, current.hi + 1))) == current
+
+
+@given(tnum_with_member(), tnum_with_member())
+def test_tnum_join_is_upper_bound(a, b):
+    joined = a[0].join(b[0])
+    assert joined.contains(a[1]) and joined.contains(b[1])
+
+
+@given(interval_with_member(), interval_with_member())
+def test_interval_intersect_keeps_common_members(a, b):
+    meet = a[0].intersect(b[0])
+    if b[0].contains(a[1]):
+        assert meet.contains(a[1])
+    if a[0].contains(b[1]):
+        assert meet.contains(b[1])
+
+
+@given(scalar_with_member(), scalar_with_member())
+def test_scalar_join_is_upper_bound(a, b):
+    joined = a[0].join(b[0])
+    assert joined.contains(a[1]) and joined.contains(b[1])
+
+
+@given(scalar_with_member(), scalar_with_member())
+def test_scalar_widen_covers_join(a, b):
+    widened = a[0].widen(b[0])
+    assert widened.contains(a[1]) and widened.contains(b[1])
+
+
+# -- arithmetic soundness -----------------------------------------------------
+
+
+_INTERVAL_OPS = {
+    "add": lambda x, y: (x + y) & U64,
+    "sub": lambda x, y: (x - y) & U64,
+    "mul": lambda x, y: (x * y) & U64,
+    "and_": lambda x, y: x & y,
+    "or_": lambda x, y: x | y,
+    "xor_": lambda x, y: x ^ y,
+    "udiv": lambda x, y: x // y if y else 0,
+    "umod": lambda x, y: x % y if y else x,
+}
+
+
+@given(st.sampled_from(sorted(_INTERVAL_OPS)), interval_with_member(), interval_with_member())
+def test_interval_binary_ops_sound(op, a, b):
+    result = getattr(a[0], op)(b[0])
+    assert result.contains(_INTERVAL_OPS[op](a[1], b[1]))
+
+
+@given(st.sampled_from(sorted(_INTERVAL_OPS)), scalar_with_member(), scalar_with_member())
+def test_scalar_binary_ops_sound(op, a, b):
+    result = getattr(a[0], op)(b[0])
+    assert result.contains(_INTERVAL_OPS[op](a[1], b[1]))
+
+
+_TNUM_OPS = {
+    "add": lambda x, y: (x + y) & U64,
+    "sub": lambda x, y: (x - y) & U64,
+    "mul": lambda x, y: (x * y) & U64,
+    "and_": lambda x, y: x & y,
+    "or_": lambda x, y: x | y,
+    "xor_": lambda x, y: x ^ y,
+}
+
+
+@given(st.sampled_from(sorted(_TNUM_OPS)), tnum_with_member(), tnum_with_member())
+def test_tnum_binary_ops_sound(op, a, b):
+    result = getattr(a[0], op)(b[0])
+    assert result.contains(_TNUM_OPS[op](a[1], b[1]))
+
+
+@given(interval_with_member(), small_shift)
+def test_interval_shifts_sound(a, n):
+    assert a[0].lsh(n).contains((a[1] << n) & U64)
+    assert a[0].rsh(n).contains(a[1] >> n)
+
+
+@given(tnum_with_member(), small_shift)
+def test_tnum_shifts_sound(a, n):
+    assert a[0].lsh(n).contains((a[1] << n) & U64)
+    assert a[0].rsh(n).contains(a[1] >> n)
+
+
+@given(scalar_with_member(), small_shift)
+def test_scalar_const_shifts_sound(a, n):
+    amount = ScalarVal.const(n)
+    assert a[0].lsh(amount).contains((a[1] << n) & U64)
+    assert a[0].rsh(amount).contains(a[1] >> n)
+
+
+@given(scalar_with_member())
+def test_scalar_trunc32_sound(a):
+    assert a[0].trunc32().contains(a[1] & 0xFFFFFFFF)
+
+
+# -- random straight-line programs vs concrete execution ----------------------
+
+
+_PROGRAM_OPS = sorted(_TNUM_OPS) + ["lsh", "rsh"]
+
+
+@st.composite
+def straight_line_program(draw):
+    length = draw(st.integers(min_value=1, max_value=8))
+    ops = []
+    for _ in range(length):
+        op = draw(st.sampled_from(_PROGRAM_OPS))
+        if op in ("lsh", "rsh"):
+            ops.append((op, draw(st.integers(min_value=0, max_value=31))))
+        else:
+            ops.append((op, draw(st.integers(min_value=0, max_value=U64))))
+    return ops
+
+
+@settings(max_examples=200)
+@given(straight_line_program(), st.integers(min_value=0, max_value=0xFFFF))
+def test_random_program_abstract_covers_concrete(program, start):
+    """Run the same op sequence concretely (u64 semantics, as the XDP VM
+    computes) and abstractly from ``bounded(0xFFFF)``; the abstract
+    result must contain the concrete one at every step."""
+    concrete = start
+    abstract = ScalarVal.bounded(0xFFFF)
+    assert abstract.contains(concrete)
+    for op, imm in program:
+        operand = ScalarVal.const(imm)
+        if op == "lsh":
+            concrete = (concrete << imm) & U64
+        elif op == "rsh":
+            concrete = concrete >> imm
+        else:
+            concrete = _TNUM_OPS[op](concrete, imm)
+        abstract = getattr(abstract, op)(operand)
+        assert abstract.contains(concrete)
+
+
+@settings(max_examples=200)
+@given(
+    straight_line_program(),
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=0xFFFF),
+)
+def test_random_program_join_of_two_runs_sound(program, start_a, start_b):
+    """The join of the entry abstraction must cover both concrete runs —
+    the CFG-join situation the verifier's dataflow relies on."""
+    abstract = ScalarVal.bounded(0xFFFF)
+    results = []
+    for start in (start_a, start_b):
+        concrete = start
+        for op, imm in program:
+            if op == "lsh":
+                concrete = (concrete << imm) & U64
+            elif op == "rsh":
+                concrete = concrete >> imm
+            else:
+                concrete = _TNUM_OPS[op](concrete, imm)
+        results.append(concrete)
+    for op, imm in program:
+        abstract = getattr(abstract, op)(ScalarVal.const(imm))
+    joined = abstract.join(abstract)
+    for concrete in results:
+        assert joined.contains(concrete)

@@ -3,7 +3,15 @@
 import pytest
 
 from repro.analysis import sanitizer
-from repro.flextoe.state import ProtocolState
+from repro.flextoe.state import PostprocState, PreprocState, ProtocolState
+
+
+def _make_pre(flow_group=0):
+    return PreprocState(b"\x02" * 6, "10.0.0.2", 1000, 2000, flow_group)
+
+
+def _make_post():
+    return PostprocState(opaque=1, context_id=0, rx_base=0, tx_base=0, rx_size=4096, tx_size=4096)
 
 
 @pytest.fixture
@@ -100,6 +108,94 @@ def test_unregister_drops_the_guard(sanitized):
         yield "ok"
 
     assert _run_wrapped(pre_stage, "pre") == "ok"
+
+
+def test_preproc_state_immutable_after_install(sanitized):
+    pre = _make_pre()
+    sanitizer.register(pre, flow_group=0)
+    # Even without stage context: the identification partition is
+    # install-time-only.
+    with pytest.raises(sanitizer.SanitizerError, match="immutable"):
+        pre.local_port = 1234
+
+    def rogue_stage():
+        pre.flow_group = 1
+        yield "unreached"
+
+    with pytest.raises(sanitizer.SanitizerError, match="immutable"):
+        _run_wrapped(rogue_stage, "pre", flow_group=0)
+
+
+def test_preproc_state_writable_before_install(sanitized):
+    pre = _make_pre()
+    pre.local_port = 1234  # construction / pre-install mutation
+    assert pre.local_port == 1234
+
+
+def test_postproc_state_rejects_non_post_stages(sanitized):
+    post = _make_post()
+    sanitizer.register(post, flow_group=0)
+
+    def pre_stage():
+        post.cnt_ackb = 10
+        yield "unreached"
+
+    with pytest.raises(sanitizer.SanitizerError, match="only the owning post stage"):
+        _run_wrapped(pre_stage, "pre", flow_group=0)
+
+
+def test_postproc_state_owning_post_stage_allowed(sanitized):
+    post = _make_post()
+    sanitizer.register(post, flow_group=2)
+
+    def owner():
+        post.cnt_ackb = 10
+        yield "ok"
+
+    assert _run_wrapped(owner, "post", flow_group=2) == "ok"
+    assert post.cnt_ackb == 10
+
+
+def test_postproc_state_cross_group_post_stage_raises(sanitized):
+    post = _make_post()
+    sanitizer.register(post, flow_group=2)
+
+    def wrong_group():
+        post.cnt_ackb = 10
+        yield "unreached"
+
+    with pytest.raises(sanitizer.SanitizerError, match="cross-flow-group"):
+        _run_wrapped(wrong_group, "post", flow_group=1)
+
+
+def test_postproc_state_run_to_completion_proto_token_allowed(sanitized):
+    # Run-to-completion executes the post logic inline under the worker's
+    # 'proto' token; that is the same serialized execution, not a race.
+    post = _make_post()
+    sanitizer.register(post, flow_group=0)
+
+    def rtc_worker():
+        post.cnt_ackb = 3
+        yield "ok"
+
+    assert _run_wrapped(rtc_worker, "proto", flow_group=0) == "ok"
+
+
+def test_postproc_state_control_plane_poll_allowed(sanitized):
+    post = _make_post()
+    sanitizer.register(post, flow_group=0)
+    post.cnt_ackb = 77  # no stage context: the cc-stats poll
+    assert post.take_cc_stats() == (77, 0, 0, 0)
+    post.fold_rtt_samples(100, 2)
+    assert post.rtt_est == 50
+
+
+def test_uninstall_restores_all_partition_classes(sanitized):
+    sanitizer.uninstall()
+    assert PreprocState.__setattr__ is object.__setattr__
+    assert ProtocolState.__setattr__ is object.__setattr__
+    assert PostprocState.__setattr__ is object.__setattr__
+    sanitizer.install()  # restore for the fixture's uninstall
 
 
 def test_end_to_end_flextoe_run_is_clean(sanitized):

@@ -211,6 +211,121 @@ def test_unreachable_code_rejected():
         verify(assemble("mov r0, 1\nja 1\nmov r0, 2\nexit"))
 
 
+# -- variable-offset packet access (interval × tnum domain) -------------------
+
+# An IPv4 parse with a variable-length header: the IHL nibble is loaded
+# with ldxb, masked, scaled, folded into a packet pointer, and the
+# resulting variable pointer is bounds-checked against data_end before
+# the dereference. The PR-1 constants-only domain rejected this shape.
+VAR_IHL_PROGRAM = """
+    ldxdw r2, [r1+0]
+    ldxdw r3, [r1+8]
+    mov r4, r2
+    add r4, 34
+    jgt r4, r3, out
+    ldxb r5, [r2+14]
+    and r5, 15
+    lsh r5, 2
+    mov r6, r2
+    add r6, 14
+    add r6, r5
+    mov r7, r6
+    add r7, 4
+    jgt r7, r3, out
+    ldxw r0, [r6+0]
+    exit
+out:
+    mov r0, 1
+    exit
+"""
+
+
+def test_variable_length_ip_header_accepted():
+    assert verify(assemble(VAR_IHL_PROGRAM))
+
+
+def test_variable_offset_without_check_rejected():
+    # Same parse, but the variable pointer is dereferenced without the
+    # second data_end comparison.
+    source = """
+        ldxdw r2, [r1+0]
+        ldxdw r3, [r1+8]
+        mov r4, r2
+        add r4, 34
+        jgt r4, r3, out
+        ldxb r5, [r2+14]
+        and r5, 15
+        lsh r5, 2
+        mov r6, r2
+        add r6, 14
+        add r6, r5
+        ldxw r0, [r6+0]
+        exit
+    out:
+        mov r0, 1
+        exit
+    """
+    with pytest.raises(VerifierError, match="outside verified bounds"):
+        verify(assemble(source))
+
+
+def test_variable_offset_check_too_short_rejected():
+    # The data_end proof covers only 2 bytes past the variable offset;
+    # the 4-byte load must still be rejected.
+    source = VAR_IHL_PROGRAM.replace("add r7, 4", "add r7, 2")
+    with pytest.raises(VerifierError, match="outside verified bounds"):
+        verify(assemble(source))
+
+
+def test_unbounded_variable_offset_rejected():
+    # A full 64-bit scalar (no mask) folded into a packet pointer could
+    # wrap past data_end; the fold must refuse unbounded variables.
+    source = """
+        ldxdw r2, [r1+0]
+        ldxdw r3, [r1+8]
+        ldxdw r5, [r1+0]
+        mov r6, r2
+        add r6, 14
+        add r6, r5
+        mov r7, r6
+        add r7, 4
+        jgt r7, r3, out
+        ldxw r0, [r6+0]
+        exit
+    out:
+        mov r0, 1
+        exit
+    """
+    with pytest.raises(VerifierError, match="non-pointer|outside verified bounds|constant"):
+        verify(assemble(source))
+
+
+def test_branch_refinement_bounds_a_loaded_scalar():
+    # jlt on a loaded word refines its range enough to prove a
+    # constant-extra access through the checked variable pointer.
+    source = """
+        ldxdw r2, [r1+0]
+        ldxdw r3, [r1+8]
+        mov r4, r2
+        add r4, 18
+        jgt r4, r3, out
+        ldxw r5, [r2+14]
+        jge r5, 64, out
+        mov r6, r2
+        add r6, 14
+        add r6, r5
+        mov r7, r6
+        add r7, 2
+        jgt r7, r3, out
+        ldxh r0, [r6+0]
+        exit
+    out:
+        mov r0, 1
+        exit
+    """
+    assert verify(assemble(source))
+
+
 def test_mov32_truncation_destroys_pointer_provenance():
     # A 32-bit move of a packet pointer must not remain dereferenceable.
     source = """

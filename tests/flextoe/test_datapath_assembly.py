@@ -131,6 +131,61 @@ def test_cc_stats_read_and_reset():
     assert nic.read_cc_stats(9999) is None
 
 
+def test_rtt_samples_aggregated_across_post_replicas():
+    # Replicated post stages accumulate RTT samples privately; the
+    # cc-stats poll drains every replica and folds the batch mean into
+    # the EWMA at one site (rtt_est starts at 0, so the first fold sets
+    # it to the mean outright).
+    nic = make_nic()
+    record = offload(nic)
+    dp = nic.datapath
+    group = record.pre.flow_group
+    replicas = [s for s in dp.post_stages if s.flow_group == group][:2]
+    assert len(replicas) == 2
+    replicas[0].rtt_samples[record.index] = (120, 2)  # two samples of 60
+    replicas[1].rtt_samples[record.index] = (40, 1)  # one sample of 40
+    stats = nic.read_cc_stats(record.index)
+    assert stats[3] == (120 + 40) // 3
+    # Accumulators drained; a second poll folds nothing new.
+    assert replicas[0].rtt_samples == {}
+    assert nic.read_cc_stats(record.index)[3] == stats[3]
+
+
+def test_rtt_fold_is_ewma_after_first_estimate():
+    nic = make_nic()
+    record = offload(nic)
+    record.post.rtt_est = 80
+    nic.datapath.post_stages[0].rtt_samples[record.index] = (160, 2)
+    # flow_group of post_stages[0] may differ from the record's; drain
+    # still sums every replica for this connection index.
+    assert nic.read_cc_stats(record.index)[3] == (7 * 80 + 80) // 8
+
+
+def test_remove_connection_drops_rtt_accumulators():
+    nic = make_nic()
+    record = offload(nic)
+    nic.datapath.post_stages[0].rtt_samples[record.index] = (500, 1)
+    nic.remove_connection(record.index)
+    assert nic.datapath.post_stages[0].rtt_samples == {}
+
+
+def test_atomic_add_charges_engine_latency_and_saturates():
+    from repro.flextoe.state import atomic_add, atomic_fields
+    from repro.nfp.memory import LAT_ATOMIC_ADD
+
+    nic = make_nic()
+    record = offload(nic)
+    assert atomic_fields() == {"cnt_ackb": "post", "cnt_ecnb": "post", "cnt_fretx": "post"}
+    assert atomic_add(record.post, "cnt_ackb", 1460) == LAT_ATOMIC_ADD
+    assert record.post.cnt_ackb == 1460
+    record.post.cnt_fretx = 254
+    atomic_add(record.post, "cnt_fretx", 1, maximum=255)
+    atomic_add(record.post, "cnt_fretx", 1, maximum=255)
+    assert record.post.cnt_fretx == 255
+    with pytest.raises(ValueError, match="not declared"):
+        atomic_add(record.post, "rtt_est", 1)
+
+
 def test_state_partition_sizes_match_table5():
     from repro.flextoe.state import (
         PostprocState,
