@@ -132,16 +132,17 @@ class Interval:
         return Interval.top()
 
     def udiv(self, other):
-        # Division by zero faults in the VM; on continuing paths the
-        # divisor is at least 1.
-        return Interval(self.lo // max(1, other.hi), self.hi // max(1, other.lo))
+        # BPF runtime semantics: division by zero yields 0, it does not
+        # fault — a possibly-zero divisor must keep 0 in the result.
+        lo = 0 if other.lo == 0 else self.lo // other.hi
+        return Interval(lo, self.hi // max(1, other.lo))
 
     def umod(self, other):
         if other.lo > 0 and self.hi < other.lo:
             return Interval(self.lo, self.hi)  # dividend smaller than any divisor
-        if other.hi > 0:
+        if other.lo > 0:
             return Interval(0, min(self.hi, other.hi - 1))
-        return Interval(0, self.hi)  # divisor always 0: the VM faults
+        return Interval(0, self.hi)  # divisor may be 0: x % 0 = x
 
     def lsh(self, n):
         if self.hi << n <= U64:

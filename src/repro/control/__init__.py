@@ -11,15 +11,20 @@ port partitioning).
 from repro.control.cc import CongestionControl, Dctcp, Timely
 from repro.control.plane import ControlPlane, ControlPlaneConfig
 from repro.control.policy import PolicyConfig
+from repro.control.recovery import ConnShadow, RecoveryManager, SlowPathShim, reconstruct_protocol_state
 from repro.control.splice import SpliceError, SpliceManager
 
 __all__ = [
     "CongestionControl",
+    "ConnShadow",
     "ControlPlane",
     "ControlPlaneConfig",
     "Dctcp",
     "PolicyConfig",
+    "RecoveryManager",
     "SpliceError",
     "SpliceManager",
+    "SlowPathShim",
     "Timely",
+    "reconstruct_protocol_state",
 ]

@@ -81,9 +81,20 @@ class ConnectionDirectory:
 
     def __init__(self):
         self.entries = {}
+        self.by_tuple = {}
 
     class Entry:
-        __slots__ = ("index", "record", "cc_flow", "last_snd_una", "stalled_since", "closing", "close_requested_at")
+        __slots__ = (
+            "index",
+            "record",
+            "cc_flow",
+            "last_snd_una",
+            "stalled_since",
+            "closing",
+            "close_requested_at",
+            "retry_attempts",
+            "rto_multiplier",
+        )
 
         def __init__(self, index, record, cc_flow):
             self.index = index
@@ -93,17 +104,31 @@ class ConnectionDirectory:
             self.stalled_since = None
             self.closing = False
             self.close_requested_at = None
+            self.retry_attempts = 0
+            self.rto_multiplier = 1
+
+        def reset_backoff(self):
+            self.retry_attempts = 0
+            self.rto_multiplier = 1
 
     def add(self, index, record, cc_flow):
         entry = self.Entry(index, record, cc_flow)
         self.entries[index] = entry
+        self.by_tuple[record.four_tuple] = entry
         return entry
 
     def remove(self, index):
-        return self.entries.pop(index, None)
+        entry = self.entries.pop(index, None)
+        if entry is not None:
+            self.by_tuple.pop(entry.record.four_tuple, None)
+        return entry
 
     def get(self, index):
         return self.entries.get(index)
+
+    def lookup(self, four_tuple):
+        """Established-connection lookup by four-tuple (RST matching)."""
+        return self.by_tuple.get(four_tuple)
 
     def __iter__(self):
         return iter(list(self.entries.values()))

@@ -24,10 +24,17 @@ from repro.control.connection import (
     SYN_SENT,
 )
 from repro.control.policy import PolicyConfig
-from repro.flextoe.descriptors import HC_PROBE, HC_RETRANSMIT, HostControlDescriptor
-from repro.flextoe.proto_logic import WINDOW_SCALE
+from repro.control.recovery import RecoveryManager
+from repro.flextoe.descriptors import (
+    HC_PROBE,
+    HC_RETRANSMIT,
+    HostControlDescriptor,
+    NOTIFY_ERROR,
+    Notification,
+)
+from repro.flextoe.proto_logic import WINDOW_SCALE, advertised_window
 from repro.libtoe.buffers import CircularBuffer
-from repro.libtoe.errors import ConnectRefusedError
+from repro.libtoe.errors import ConnectRefusedError, HandshakeTimeoutError
 from repro.proto import (
     ARP_REPLY,
     ARP_REQUEST,
@@ -56,6 +63,15 @@ class ControlPlaneConfig:
         cc_interval_ns=50_000,
         linger_ns=2_000_000,
         mss=1448,
+        max_syn_retries=8,
+        max_data_retries=10,
+        rto_max_ns=4_000_000,
+        recovery_enabled=True,
+        watchdog_enabled=True,
+        watchdog_interval_ns=100_000,
+        watchdog_miss_threshold=3,
+        snapshot_interval_ns=250_000,
+        reboot_delay_ns=100_000,
     ):
         self.rx_buffer_size = rx_buffer_size
         self.tx_buffer_size = tx_buffer_size
@@ -65,6 +81,15 @@ class ControlPlaneConfig:
         self.cc_interval_ns = cc_interval_ns
         self.linger_ns = linger_ns
         self.mss = mss
+        self.max_syn_retries = max_syn_retries
+        self.max_data_retries = max_data_retries
+        self.rto_max_ns = rto_max_ns
+        self.recovery_enabled = recovery_enabled
+        self.watchdog_enabled = watchdog_enabled
+        self.watchdog_interval_ns = watchdog_interval_ns
+        self.watchdog_miss_threshold = watchdog_miss_threshold
+        self.snapshot_interval_ns = snapshot_interval_ns
+        self.reboot_delay_ns = reboot_delay_ns
 
 
 class ControlPlane:
@@ -102,9 +127,54 @@ class ControlPlane:
         self.retransmits_posted = 0
         self.probes_posted = 0
         self.syn_retransmits = 0
+        self.aborts = 0
+        self.resets_received = 0
+        self.recovery = None
         sim.process(self._rx_loop(), name="cp-rx")
         sim.process(self._timer_loop(), name="cp-timer")
         sim.process(self._cc_loop(), name="cp-cc")
+
+    # -- failure recovery ----------------------------------------------------
+
+    def enable_recovery(self, station=None):
+        """Arm the data-path recovery subsystem (watchdog, connection
+        shadow, slow-path shim on ``station``'s port). Idempotent; no-op
+        when ``config.recovery_enabled`` is False."""
+        if not self.config.recovery_enabled:
+            return None
+        if self.recovery is None:
+            self.recovery = RecoveryManager(self, station=station)
+        return self.recovery
+
+    def reprogram_rate(self, entry):
+        """Re-program a flow's scheduler rate (after re-offload)."""
+        self._program_rate(entry.index, entry.cc_flow)
+
+    def announce_window(self, record):
+        """Send a pure ACK advertising the current receive window.
+
+        Used after re-offload: a peer parked against the slow-path
+        shim's zero window may have nothing in flight to retransmit, so
+        nothing would ever reopen its window without this."""
+        proto = record.proto
+        frame = self._tcp_frame(
+            record.pre.peer_mac,
+            record.four_tuple,
+            seq=proto.seq,
+            ack=proto.ack,
+            flags=FLAG_ACK,
+            window=advertised_window(proto),
+        )
+        self._control_tx(frame)
+
+    def _control_tx(self, frame):
+        """Raw TX that survives degraded mode: while the NIC is down the
+        slow-path shim owns the port and transmits for us."""
+        if self.recovery is not None and self.recovery.degraded and self.recovery.shim is not None:
+            if self.recovery.shim.installed:
+                self.recovery.shim.raw_send(frame)
+                return
+        self.nic.control_tx(frame)
 
     # -- small helpers -----------------------------------------------------
 
@@ -191,6 +261,10 @@ class ControlPlane:
             frame = yield ring.get()
             self._handle_frame(frame)
 
+    def handle_frame(self, frame):
+        """Synchronous frame entry point (used by the slow-path shim)."""
+        self._handle_frame(frame)
+
     def _handle_frame(self, frame):
         if frame.arp is not None:
             self._handle_arp(frame)
@@ -218,7 +292,7 @@ class ControlPlane:
         if arp.op == ARP_REQUEST and arp.target_ip == self.local_ip:
             reply = arp.reply(self.local_mac)
             eth = EthernetHeader(dst=arp.sender_mac, src=self.local_mac, ethertype=ETHERTYPE_ARP)
-            self.nic.control_tx(Frame(eth, arp=reply, born_at=self.sim.now))
+            self._control_tx(Frame(eth, arp=reply, born_at=self.sim.now))
             self.arp_table[arp.sender_ip] = arp.sender_mac
         elif arp.op == ARP_REPLY:
             self.arp_table[arp.sender_ip] = arp.sender_mac
@@ -233,12 +307,12 @@ class ControlPlane:
         self._arp_waiters.setdefault(ip, []).append(waiter)
         request = ArpHeader.request(self.local_mac, self.local_ip, ip)
         eth = EthernetHeader(dst=BROADCAST_MAC, src=self.local_mac, ethertype=ETHERTYPE_ARP)
-        self.nic.control_tx(Frame(eth, arp=request, born_at=self.sim.now))
+        self._control_tx(Frame(eth, arp=request, born_at=self.sim.now))
         result = yield self.sim.any_of([waiter, self.sim.timeout(5_000_000)])
         if ip in self.arp_table:
             return self.arp_table[ip]
         # Retry once, then fail.
-        self.nic.control_tx(Frame(eth.copy(), arp=request, born_at=self.sim.now))
+        self._control_tx(Frame(eth.copy(), arp=request, born_at=self.sim.now))
         yield self.sim.timeout(5_000_000)
         if ip in self.arp_table:
             return self.arp_table[ip]
@@ -284,14 +358,66 @@ class ControlPlane:
             flags=FLAG_ACK,
             window=0xFFFF,
         )
-        self.nic.control_tx(ack)
+        self._control_tx(ack)
         self._establish(pending)
 
     def _handle_rst(self, frame):
         four = (self.local_ip, frame.ip.src, frame.tcp.dport, frame.tcp.sport)
         pending = self.pending.pop(four, None)
-        if pending is not None and pending.waiter is not None:
-            pending.waiter.succeed(None)
+        if pending is not None:
+            if pending.waiter is not None and not pending.waiter.triggered:
+                pending.waiter.fail(
+                    ConnectRefusedError(
+                        "connection to {}:{} refused".format(frame.ip.src, frame.tcp.sport)
+                    )
+                )
+            return
+        # RST against an *established* connection: validate the sequence
+        # against our receive window (blind-RST hardening, RFC 5961
+        # spirit) and tear the offload state down.
+        entry = self.directory.lookup(four)
+        if entry is None:
+            return
+        proto = entry.record.proto
+        offset = (frame.tcp.seq - proto.ack) & 0xFFFFFFFF
+        if offset >= max(1, proto.rx_avail):
+            return
+        self.resets_received += 1
+        self._teardown_entry(entry, "reset")
+
+    def _teardown_entry(self, entry, reason):
+        """Remove directory + NIC state and surface a typed error."""
+        self.directory.remove(entry.index)
+        self.nic.remove_connection(entry.index)
+        if self.recovery is not None:
+            self.recovery.forget(entry.index)
+        post = entry.record.post
+        pair = self.nic.context_pair(post.context_id)
+        if pair is not None:
+            pair.nic_deliver(
+                Notification(
+                    NOTIFY_ERROR,
+                    post.opaque,
+                    entry.index,
+                    context_id=post.context_id,
+                    created_at=self.sim.now,
+                    error=reason,
+                )
+            )
+
+    def _abort_connection(self, entry):
+        """Max-retry abort: RST the peer, tear down, surface a timeout."""
+        record = entry.record
+        rst = self._tcp_frame(
+            record.pre.peer_mac,
+            record.four_tuple,
+            seq=record.proto.seq,
+            ack=record.proto.ack,
+            flags=FLAG_RST | FLAG_ACK,
+        )
+        self._control_tx(rst)
+        self.aborts += 1
+        self._teardown_entry(entry, "timeout")
 
     def _send_rst(self, frame):
         rst = make_tcp_frame(
@@ -306,7 +432,7 @@ class ControlPlane:
             flags=FLAG_RST | FLAG_ACK,
             born_at=self.sim.now,
         )
-        self.nic.control_tx(rst)
+        self._control_tx(rst)
 
     def _send_syn(self, pending):
         syn = self._tcp_frame(
@@ -319,7 +445,7 @@ class ControlPlane:
         )
         pending.last_sent_at = self.sim.now
         pending.attempts += 1
-        self.nic.control_tx(syn)
+        self._control_tx(syn)
 
     def _send_syn_ack(self, pending):
         syn_ack = self._tcp_frame(
@@ -333,7 +459,7 @@ class ControlPlane:
         )
         pending.last_sent_at = self.sim.now
         pending.attempts += 1
-        self.nic.control_tx(syn_ack)
+        self._control_tx(syn_ack)
 
     # -- establishment -----------------------------------------------------
 
@@ -360,6 +486,13 @@ class ControlPlane:
             flow.rate_bps = min(flow.rate_bps, self.policy.rate_limit_bps)
         self.directory.add(index, record, flow)
         self._program_rate(index, flow)
+        if self.recovery is not None:
+            self.recovery.track(
+                index,
+                record,
+                snd_iss=(pending.iss + 1) & 0xFFFFFFFF,
+                rcv_irs=pending.irs,
+            )
         info = EstablishedInfo(index, pending.four_tuple, rx_buffer, tx_buffer)
         if pending.waiter is not None:
             pending.waiter.succeed(info)
@@ -378,15 +511,27 @@ class ControlPlane:
         config = self.config
         while True:
             yield self.sim.timeout(config.timer_tick_ns)
+            if self.recovery is not None and self.recovery.degraded:
+                # The data path is down and being recovered: nothing to
+                # retransmit into, and outage time must not count toward
+                # abort thresholds.
+                continue
             now = self.sim.now
             # Handshake retransmissions.
             for pending in list(self.pending.values()):
                 if now - pending.last_sent_at < config.syn_rto_ns:
                     continue
-                if pending.attempts >= 8:
+                if pending.attempts >= config.max_syn_retries:
                     self.pending.pop(pending.four_tuple, None)
                     if pending.waiter is not None and not pending.waiter.triggered:
-                        pending.waiter.succeed(None)
+                        remote_ip, remote_port = pending.four_tuple[1], pending.four_tuple[3]
+                        pending.waiter.fail(
+                            HandshakeTimeoutError(
+                                "handshake to {}:{} timed out after {} attempts".format(
+                                    remote_ip, remote_port, pending.attempts
+                                )
+                            )
+                        )
                     continue
                 if pending.state == SYN_SENT:
                     self.syn_retransmits += 1
@@ -397,30 +542,45 @@ class ControlPlane:
             # Data-path retransmission timeouts and zero-window probes.
             for entry in self.directory:
                 proto = entry.record.proto
-                rto = max(config.rto_ns, 4_000 * max(1, entry.record.post.rtt_est))
-                if proto.tx_sent > 0:
+                base_rto = max(config.rto_ns, 4_000 * max(1, entry.record.post.rtt_est))
+                rto = min(base_rto * entry.rto_multiplier, config.rto_max_ns)
+                if proto.remote_win == 0 and (proto.tx_sent > 0 or proto.tx_avail > 0):
+                    # Persist state: the peer (or its slow-path shim)
+                    # closed the window. Classic TCP probes forever —
+                    # zero-window probing never aborts a connection.
+                    entry.retry_attempts = 0
+                    if entry.stalled_since is None:
+                        entry.stalled_since = now
+                    elif now - entry.stalled_since > rto:
+                        entry.stalled_since = now
+                        entry.rto_multiplier = min(entry.rto_multiplier * 2, 64)
+                        self.probes_posted += 1
+                        self.nic.post_hc(
+                            CONTROL_CONTEXT, HostControlDescriptor(HC_PROBE, entry.index)
+                        )
+                elif proto.tx_sent > 0:
                     snd_una = (proto.seq - proto.tx_sent) & 0xFFFFFFFF
                     if entry.last_snd_una != snd_una:
+                        # Forward progress: restart the timer, reset the
+                        # exponential backoff.
                         entry.last_snd_una = snd_una
                         entry.stalled_since = now
+                        entry.reset_backoff()
                     elif entry.stalled_since is not None and now - entry.stalled_since > rto:
+                        if entry.retry_attempts >= config.max_data_retries:
+                            self._abort_connection(entry)
+                            continue
                         entry.stalled_since = now
+                        entry.retry_attempts += 1
+                        entry.rto_multiplier = min(entry.rto_multiplier * 2, 64)
                         self.retransmits_posted += 1
                         self.nic.post_hc(
                             CONTROL_CONTEXT,
                             HostControlDescriptor(HC_RETRANSMIT, entry.index),
                         )
-                elif proto.tx_avail > 0 and proto.remote_win == 0:
-                    if entry.stalled_since is None:
-                        entry.stalled_since = now
-                    elif now - entry.stalled_since > rto:
-                        entry.stalled_since = now
-                        self.probes_posted += 1
-                        self.nic.post_hc(
-                            CONTROL_CONTEXT, HostControlDescriptor(HC_PROBE, entry.index)
-                        )
                 else:
                     entry.stalled_since = None
+                    entry.reset_backoff()
                 # Teardown: remove once closed on both sides (or linger out).
                 if entry.closing:
                     done = (
@@ -433,6 +593,8 @@ class ControlPlane:
                     if done or lingered:
                         self.directory.remove(entry.index)
                         self.nic.remove_connection(entry.index)
+                        if self.recovery is not None:
+                            self.recovery.forget(entry.index)
 
     # -- congestion control ---------------------------------------------------
 
@@ -441,6 +603,8 @@ class ControlPlane:
         while True:
             yield self.sim.timeout(config.cc_interval_ns)
             if not self.cc_enabled:
+                continue
+            if self.recovery is not None and self.recovery.degraded:
                 continue
             for entry in self.directory:
                 raw = self.nic.read_cc_stats(entry.index)

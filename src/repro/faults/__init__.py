@@ -20,6 +20,7 @@ from repro.faults.events import (
     FpcStall,
     LinkFlap,
     MmioDelay,
+    NicCrash,
     QueueBackpressure,
     ReorderWindow,
     StateCacheEvict,
@@ -58,6 +59,7 @@ __all__ = [
     "LinkFlap",
     "LivenessViolation",
     "MmioDelay",
+    "NicCrash",
     "QueueBackpressure",
     "REGISTRY",
     "ReorderWindow",

@@ -388,6 +388,32 @@ class MmioDelay(NicFault):
         host.nic.chip.pcie.mmio_fault = self._saved.pop(name, None)
 
 
+class NicCrash(NicFault):
+    """Hard data-path crash: firmware wedge / PCIe FLR-worthy fault.
+
+    One-shot — when the active window opens the NIC's datapath is
+    killed outright (stages stop, heartbeats freeze, the MAC drops RX).
+    Nothing here restarts it: detection and re-offload are the control
+    plane's job (:mod:`repro.control.recovery`), which is exactly what
+    this fault exists to exercise.
+    """
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.crashes = 0
+
+    def activate(self, ctx, obj):
+        name, host = obj
+        nic = getattr(host, "nic", None)
+        if nic is None or not hasattr(nic, "crash"):
+            return  # non-FlexTOE stack: nothing to crash
+        if nic.crashed:
+            return
+        nic.crash()
+        self.crashes += 1
+        ctx.log_event("nic-crash", name, "datapath killed")
+
+
 # -- host faults ------------------------------------------------------------
 
 

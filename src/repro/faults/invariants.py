@@ -86,6 +86,14 @@ def counters_snapshot(testbed):
             entry["retransmits"] = control.retransmits_posted
             entry["probes"] = control.probes_posted
             entry["syn_retransmits"] = control.syn_retransmits
+            entry["aborts"] = control.aborts
+            entry["resets_received"] = control.resets_received
+            recovery = getattr(control, "recovery", None)
+            if recovery is not None:
+                entry["watchdog_fired"] = recovery.watchdog_fired
+                entry["recoveries"] = recovery.recoveries
+                entry["reoffloaded"] = recovery.reoffloaded_connections
+                entry["slowpath_acks"] = recovery.shim.acks_sent
         nic = getattr(host, "nic", None)
         if nic is not None:
             dp = nic.datapath
@@ -93,6 +101,7 @@ def counters_snapshot(testbed):
             entry["fast_retransmits"] = sum(post.fast_retransmits for post in dp.post_stages)
             entry["dma_retries"] = nic.chip.dma.transient_failures
             entry["doorbells_lost"] = nic.chip.pcie.doorbells_lost
+            entry["nic_reboots"] = nic.reboots
         engine = getattr(host, "engine", None)
         if engine is not None:
             entry["fast_retransmits"] = sum(

@@ -22,6 +22,7 @@ from repro.faults.events import (
     FpcStall,
     LinkFlap,
     MmioDelay,
+    NicCrash,
     QueueBackpressure,
     ReorderWindow,
     StateCacheEvict,
@@ -97,6 +98,17 @@ def host_pressure_plan():
     )
 
 
+def nic_crash_plan(target="host:server", crash_ns=50_000):
+    """Kill one host's FlexTOE datapath mid-transfer (ISSUE 4).
+
+    Requires the target host's control plane to have recovery enabled
+    (the default): the watchdog must detect the frozen heartbeats and
+    re-offload every connection for the transfer to complete. Not part
+    of ``CANONICAL`` — it only makes sense on FlexTOE hosts.
+    """
+    return FaultPlan("nic-crash").add(NicCrash(target=target, start_ns=crash_ns))
+
+
 #: The three acceptance-bar plans (ISSUE 2 fault matrix).
 CANONICAL = {
     "bursty-loss": bursty_loss_plan,
@@ -112,6 +124,7 @@ REGISTRY.update(
         "link-flap": link_flap_plan,
         "nic-pressure": nic_pressure_plan,
         "host-pressure": host_pressure_plan,
+        "nic-crash": nic_crash_plan,
     }
 )
 

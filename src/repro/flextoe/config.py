@@ -87,6 +87,7 @@ class PipelineConfig:
         state_cache_lmem_entries=16,
         state_cache_cls_entries=512,
         emem_cache_records=16384,
+        heartbeat_interval_ns=50_000,
     ):
         if n_flow_groups < 1:
             raise ValueError("need at least one flow group")
@@ -111,6 +112,7 @@ class PipelineConfig:
         self.state_cache_lmem_entries = state_cache_lmem_entries
         self.state_cache_cls_entries = state_cache_cls_entries
         self.emem_cache_records = emem_cache_records
+        self.heartbeat_interval_ns = heartbeat_interval_ns
 
     @classmethod
     def baseline_run_to_completion(cls):

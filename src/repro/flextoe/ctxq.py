@@ -22,9 +22,17 @@ class ContextQueuePair:
         self.outbound = deque()  # HostControlDescriptor, host -> NIC
         self.inbound = deque()  # Notification, NIC -> host
         self._waiters = []
+        self._taps = []
         self.notifications_delivered = 0
         self.hc_posted = 0
         self.interrupts = 0
+
+    def add_tap(self, fn):
+        """Observe queue traffic: ``fn("hc", descriptor)`` on every
+        accepted host-control post, ``fn("notify", notification)`` on
+        every delivery. The control plane's recovery shadow taps every
+        pair to mirror window updates without being on the data path."""
+        self._taps.append(fn)
 
     # -- host side -------------------------------------------------------
 
@@ -36,6 +44,8 @@ class ContextQueuePair:
         descriptor.posted_at = self.sim.now
         self.outbound.append(descriptor)
         self.hc_posted += 1
+        for tap in self._taps:
+            tap("hc", descriptor)
         return True
 
     def poll(self):
@@ -69,6 +79,8 @@ class ContextQueuePair:
         """NIC appends a notification (post-DMA) and wakes a sleeper."""
         self.inbound.append(notification)
         self.notifications_delivered += 1
+        for tap in self._taps:
+            tap("notify", notification)
         if self._waiters:
             # Wake every sleeper (one MSI-X/eventfd ping); each re-checks
             # its own socket's state after dispatch.

@@ -18,12 +18,12 @@ from repro.flextoe.scheduler import CarouselScheduler
 from repro.flextoe.seqr import ReorderBuffer, Sequencer
 from repro.flextoe.stages import CtxStage, DmaStage, NbiStage, PostStage, PreStage, ProtocolStage
 from repro.flextoe.statecache import EmemStateCache, StateCache
-from repro.flextoe.state import ConnectionTable
+from repro.flextoe.state import ConnectionTable, HeartbeatBoard
 from repro.flextoe.tracing import TracepointRegistry
 from repro.nfp.memory import LAT_IMEM
 from repro.proto.ip import ECN_ECT0, ECN_NOT_ECT
 from repro.proto.packet import Frame
-from repro.sim import Resource, Store
+from repro.sim import Interrupt, Resource, Store
 from repro.nfp.queues import ClsRing, WorkQueue
 
 
@@ -52,7 +52,7 @@ class _TxTriggerAdapter:
 class FlexToeDatapath:
     """The wired pipeline on a given NFP chip."""
 
-    def __init__(self, sim, chip, config, capture=None, ingress_modules=None, egress_modules=None):
+    def __init__(self, sim, chip, config, capture=None, ingress_modules=None, egress_modules=None, control_ring=None):
         self.sim = sim
         self.chip = chip
         self.config = config
@@ -77,7 +77,10 @@ class FlexToeDatapath:
         self.dma_ring = WorkQueue(sim, capacity=None, name="dma-in", backing="imem")
         self.ctx_ring = WorkQueue(sim, capacity=None, name="ctx-in", backing="imem")
         self.nbi_ring = WorkQueue(sim, capacity=None, name="nbi-in", backing="imem")
-        self.control_ring = Store(sim, name="to-control")
+        # The control ring lives in host memory: a NIC facade that reboots
+        # the datapath passes the same ring so the control plane's RX loop
+        # survives the swap.
+        self.control_ring = control_ring if control_ring is not None else Store(sim, name="to-control")
 
         # Sequencing domains (§3.2).
         self.rx_seqr = Sequencer()
@@ -123,11 +126,27 @@ class FlexToeDatapath:
         #: target "stall a protocol FPC" without groping the islands.
         self.stage_fpcs = {}
 
+        #: Every spawned data-path process (stage threads, GRO delivery,
+        #: heartbeat publishers, snapshot DMA). crash() interrupts them all.
+        self.processes = []
+        self.crashed = False
+        self.heartbeats = HeartbeatBoard()
+
         sanitizer.maybe_install_from_env()
         self._assign_fpcs()
+        self._spawn_heartbeats()
         self.mac.rx_handler = self._on_mac_rx
 
     # -- construction ------------------------------------------------------
+
+    def _killable(self, generator):
+        """Outermost wrapper for every data-path process: a crash()
+        interrupt terminates the program cleanly instead of propagating
+        out of the simulator loop."""
+        try:
+            yield from generator
+        except Interrupt:
+            return
 
     def _spawn(self, fpc, program, name, stage_kind, flow_group=None):
         """Spawn a stage process, tagging it with ownership context when
@@ -135,12 +154,16 @@ class FlexToeDatapath:
         fpcs = self.stage_fpcs.setdefault(stage_kind, [])
         if fpc not in fpcs:
             fpcs.append(fpc)
-        if sanitizer.enabled():
-            def factory(thread, _p=program, _k=stage_kind, _g=flow_group):
-                return sanitizer.guard_process(_p(thread), _k, _g)
 
-            return fpc.spawn(factory, name=name)
-        return fpc.spawn(program, name=name)
+        def factory(thread, _p=program, _k=stage_kind, _g=flow_group):
+            generator = _p(thread)
+            if sanitizer.enabled():
+                generator = sanitizer.guard_process(generator, _k, _g)
+            return self._killable(generator)
+
+        thread = fpc.spawn(factory, name=name)
+        self.processes.append(thread.process)
+        return thread
 
     def _spawn_gro_delivery(self, gro, name, stage_kind):
         """Run a reorder buffer's delivery loop as its own sim process.
@@ -155,7 +178,77 @@ class FlexToeDatapath:
         generator = gro.delivery_program()
         if sanitizer.enabled():
             generator = sanitizer.guard_process(generator, stage_kind)
-        return self.sim.process(generator, name=name)
+        process = self.sim.process(self._killable(generator), name=name)
+        self.processes.append(process)
+        return process
+
+    def _spawn_heartbeats(self):
+        """One heartbeat publisher per registered stage-group FPC.
+
+        Publishers are zero-cost sim processes (the beat write itself is
+        charged via the atomic engine), so they never perturb pipeline
+        timing; they die with the data-path on crash(), which is exactly
+        what stops the beats and trips the control-plane watchdog."""
+        interval = self.config.heartbeat_interval_ns
+        for stage_kind in sorted(self.stage_fpcs):
+            for slot, _fpc in enumerate(self.stage_fpcs[stage_kind]):
+                key = (stage_kind, slot)
+
+                def publisher(_key=key):
+                    while True:
+                        yield self.sim.timeout(interval)
+                        self.heartbeats.publish(_key)
+
+                process = self.sim.process(
+                    self._killable(publisher()), name="hb-{}-{}".format(stage_kind, slot)
+                )
+                self.processes.append(process)
+
+    def enable_state_snapshots(self, writer, interval_ns):
+        """Periodically DMA volatile protocol fields to a host shadow.
+
+        ``writer(conn_index, snapshot_dict)`` runs host-side; the shadow
+        it fills survives a data-path crash and bounds the staleness of
+        the fields recovery cannot derive from descriptor history
+        (``remote_win``, timestamp echo state)."""
+
+        def snapshot_loop():
+            while True:
+                yield self.sim.timeout(interval_ns)
+                records = self.conn_table.records()
+                if not records:
+                    continue
+                yield self.dma.issue(0, 16 * len(records))
+                now = self.sim.now
+                for record in records:
+                    proto = record.proto
+                    writer(
+                        record.index,
+                        {
+                            "remote_win": proto.remote_win,
+                            "next_ts": proto.next_ts,
+                            "sampled_at": now,
+                        },
+                    )
+
+        process = self.sim.process(self._killable(snapshot_loop()), name="state-snapshot")
+        self.processes.append(process)
+        return process
+
+    def crash(self):
+        """Hard-stop the data path (fault injection / recovery quiesce).
+
+        Kills every spawned process and detaches the NBI ingress handler;
+        NIC-internal state (rings, caches, connection table) is dead with
+        the chip. Host-visible memory — context queue pairs, the control
+        ring, payload buffers — is untouched. Idempotent."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.mac.rx_handler = None
+        for process in self.processes:
+            if process.is_alive:
+                process.interrupt("nic-crash")
 
     def _assign_fpcs(self):
         config = self.config
@@ -316,6 +409,10 @@ class FlexToeDatapath:
         pair = ContextQueuePair(self.sim, context_id, capacity=capacity)
         self.contexts[context_id] = pair
         return pair
+
+    def adopt_context(self, pair):
+        """Re-bind an existing (host-memory) queue pair after a reboot."""
+        self.contexts[pair.context_id] = pair
 
     def post_hc(self, context_id, descriptor):
         """libTOE helper: append a descriptor and ring the doorbell."""

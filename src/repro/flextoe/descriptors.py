@@ -20,6 +20,7 @@ HC_PROBE = "probe"  # zero-window probe (control-plane persist timer)
 NOTIFY_RX = "rx"
 NOTIFY_TX_ACKED = "tx_acked"
 NOTIFY_FIN = "fin"
+NOTIFY_ERROR = "error"  # control plane -> app: connection died (timeout/RST)
 
 # SegWork kinds.
 WORK_RX = "rx"
@@ -60,9 +61,9 @@ class Notification:
     bytes were acknowledged and may be reused by libTOE.
     """
 
-    __slots__ = ("kind", "opaque", "conn_index", "context_id", "offset", "length", "created_at")
+    __slots__ = ("kind", "opaque", "conn_index", "context_id", "offset", "length", "created_at", "error", "piggyback_ack")
 
-    def __init__(self, kind, opaque, conn_index, context_id=0, offset=0, length=0, created_at=0):
+    def __init__(self, kind, opaque, conn_index, context_id=0, offset=0, length=0, created_at=0, error=None):
         self.kind = kind
         self.opaque = opaque
         self.conn_index = conn_index
@@ -70,6 +71,12 @@ class Notification:
         self.offset = offset
         self.length = length
         self.created_at = created_at
+        self.error = error  # NOTIFY_ERROR: "timeout" | "reset"
+        # NIC-internal (never host-visible): an ACK frame the ARX stage
+        # releases to the wire only after this notification is delivered
+        # — the write-ahead rule that makes crash recovery sound (a
+        # wire-ACKed byte is always reflected in host-visible state).
+        self.piggyback_ack = None
 
     def __repr__(self):
         return "<Notify {} conn={} off={} len={}>".format(self.kind, self.conn_index, self.offset, self.length)

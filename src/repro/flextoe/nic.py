@@ -14,6 +14,7 @@ from repro.flextoe.datapath import FlexToeDatapath
 from repro.flextoe.scheduler import rate_to_interval_q8
 from repro.flextoe.state import ConnectionRecord, PostprocState, PreprocState, ProtocolState
 from repro.nfp import Nfp4000
+from repro.sim import Store
 
 
 class FlexToeNic:
@@ -23,24 +24,88 @@ class FlexToeNic:
         self.sim = sim
         self.config = config or PipelineConfig.full()
         self.chip = chip or Nfp4000(sim)
-        self.datapath = FlexToeDatapath(
-            sim,
+        self._capture = capture
+        self._ingress_modules = ingress_modules
+        self._egress_modules = egress_modules
+        # Host-memory control ring: survives data-path reboots so the
+        # control plane's RX loop never has to re-subscribe.
+        self._control_ring = Store(sim, name="to-control")
+        self.port = None
+        self.reboots = 0
+        self.control_tx_dropped = 0
+        self._snapshot_writer = None
+        self._snapshot_interval_ns = None
+        self.datapath = self._build_datapath()
+
+    def _build_datapath(self):
+        return FlexToeDatapath(
+            self.sim,
             self.chip,
             self.config,
-            capture=capture,
-            ingress_modules=ingress_modules,
-            egress_modules=egress_modules,
+            capture=self._capture,
+            ingress_modules=self._ingress_modules,
+            egress_modules=self._egress_modules,
+            control_ring=self._control_ring,
         )
 
     # -- network ----------------------------------------------------------
 
     def attach_port(self, port):
+        self.port = port
         self.chip.mac.attach_port(port)
+
+    # -- failure / recovery ---------------------------------------------------
+
+    @property
+    def crashed(self):
+        return self.datapath.crashed
+
+    def crash(self):
+        """Hard-stop the data path (see FlexToeDatapath.crash)."""
+        self.datapath.crash()
+
+    def reboot(self):
+        """Tear down the dead chip and bring up a fresh data path.
+
+        Host shared memory survives: existing context queue pairs are
+        re-bound into the new datapath and the control ring is reused.
+        All NIC-internal connection state is gone — the control plane
+        must re-offload every connection from its shadow."""
+        self.crash()  # idempotent quiesce of whatever is still running
+        old_contexts = self.datapath.contexts
+        self.chip = Nfp4000(self.sim, config=self.chip.config)
+        self.datapath = self._build_datapath()
+        for pair in old_contexts.values():
+            self.datapath.adopt_context(pair)
+        if self.port is not None:
+            self.attach_port(self.port)
+        if self._snapshot_writer is not None:
+            self.datapath.enable_state_snapshots(
+                self._snapshot_writer, self._snapshot_interval_ns
+            )
+        self.reboots += 1
+
+    def read_heartbeats(self):
+        """Watchdog MMIO sample of the stage-group heartbeat board.
+
+        A crashed chip still returns the (frozen) board — the watchdog
+        detects failure by the beats not advancing, not by read errors."""
+        return self.datapath.heartbeats.snapshot()
+
+    def enable_state_snapshots(self, writer, interval_ns):
+        """Arrange the periodic NIC->host state DMA (survives reboots)."""
+        self._snapshot_writer = writer
+        self._snapshot_interval_ns = interval_ns
+        self.datapath.enable_state_snapshots(writer, interval_ns)
 
     # -- libTOE interface ----------------------------------------------------
 
     def register_context(self, context_id, capacity=1024):
         return self.datapath.register_context(context_id, capacity)
+
+    def context_pair(self, context_id):
+        """The (host-memory) queue pair for a context, or None."""
+        return self.datapath.contexts.get(context_id)
 
     def post_hc(self, context_id, descriptor):
         return self.datapath.post_hc(context_id, descriptor)
@@ -60,11 +125,15 @@ class FlexToeNic:
         rx_buffer,
         tx_buffer,
         remote_win=0xFFFF,
+        proto=None,
     ):
         """Install data-path state for an established connection (§3.4).
 
         ``rx_buffer``/``tx_buffer`` are (region, base_addr, size) triples
-        from the host hugepage pool. Returns the ConnectionRecord.
+        from the host hugepage pool. ``proto`` may carry a pre-built
+        ProtocolState (crash recovery re-offloads a reconstructed one);
+        by default a fresh post-handshake state is created. Returns the
+        ConnectionRecord.
         """
         local_ip, remote_ip, local_port, remote_port = four_tuple
         flow_group = self.config.flow_group_of(four_tuple)
@@ -77,7 +146,8 @@ class FlexToeNic:
         )
         rx_region, rx_base, rx_size = rx_buffer
         tx_region, tx_base, tx_size = tx_buffer
-        proto = ProtocolState(seq=iss, ack=irs, rx_avail=rx_size, remote_win=remote_win)
+        if proto is None:
+            proto = ProtocolState(seq=iss, ack=irs, rx_avail=rx_size, remote_win=remote_win)
         post = PostprocState(
             opaque=opaque,
             context_id=context_id,
@@ -113,11 +183,16 @@ class FlexToeNic:
 
     def control_rx_ring(self):
         """Frames the data-path diverted to the control plane."""
-        return self.datapath.control_ring
+        return self._control_ring
 
     def control_tx(self, frame):
         """Control-plane raw transmit (handshakes, RST), bypassing the
-        data pipeline."""
+        data pipeline. A crashed NIC silently eats the frame (posted
+        MMIO gives the host no error); recovery routes around this via
+        the slow-path shim."""
+        if self.datapath.crashed:
+            self.control_tx_dropped += 1
+            return
         self.datapath.nic_transmit_direct(frame)
 
     def read_cc_stats(self, index):

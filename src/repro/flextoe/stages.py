@@ -585,13 +585,26 @@ class DmaStage:
                 self.payload_ops += 1
             if prev_chain is not None and not prev_chain.triggered:
                 yield prev_chain
-            # Payload is in host memory: now the ACK may leave and the
-            # notification may be delivered.
-            if work.ack_frame is not None:
-                work.ack_frame.pipeline_seq = work.pipeline_seq
-                dp.nbi_gro.offer(work.ack_frame)
-            for notification in work.notify or ():
+            # Payload is in host memory. Write-ahead rule: when the
+            # segment carries a notification, its ACK must not reach the
+            # wire before the notification is host-visible — otherwise a
+            # data-path crash in between leaves the peer believing bytes
+            # were delivered that the host-side recovery shadow never saw
+            # (and that the peer will therefore never retransmit). The
+            # ACK rides the last notification; ARX releases it after
+            # nic_deliver. Its NBI ordering ticket was taken at the
+            # protocol stage, so wire order is unchanged.
+            ack_frame = work.ack_frame
+            if ack_frame is not None:
+                ack_frame.pipeline_seq = work.pipeline_seq
+            notifications = work.notify or ()
+            if notifications and ack_frame is not None:
+                notifications[-1].piggyback_ack = ack_frame
+                ack_frame = None
+            for notification in notifications:
                 yield dp.ctx_ring.put(notification)
+            if ack_frame is not None:
+                dp.nbi_gro.offer(ack_frame)
             if done is not None:
                 done.succeed()
         elif work.kind == WORK_TX:
@@ -617,12 +630,20 @@ class DmaStage:
             self.payload_ops += 1
             dp.nbi_gro.offer(frame)
         else:
-            # HC work never reaches the DMA stage.
-            for notification in work.notify or ():
+            # HC work never reaches the DMA stage. Same write-ahead rule
+            # as the RX path: an ACK follows its notifications to the
+            # host before it may leave the NIC.
+            ack_frame = work.ack_frame
+            if ack_frame is not None:
+                ack_frame.pipeline_seq = work.pipeline_seq
+            notifications = work.notify or ()
+            if notifications and ack_frame is not None:
+                notifications[-1].piggyback_ack = ack_frame
+                ack_frame = None
+            for notification in notifications:
                 yield dp.ctx_ring.put(notification)
-            if work.ack_frame is not None:
-                work.ack_frame.pipeline_seq = work.pipeline_seq
-                dp.nbi_gro.offer(work.ack_frame)
+            if ack_frame is not None:
+                dp.nbi_gro.offer(ack_frame)
 
     def _release_ctm(self, work):
         if work.frame is not None:
@@ -700,9 +721,15 @@ class CtxStage:
             yield dp.dma.issue(1, 32)
             if prev_chain is not None and not prev_chain.triggered:
                 yield prev_chain
+            piggyback = notification.piggyback_ack
+            notification.piggyback_ack = None
             if pair is not None:
                 pair.nic_deliver(notification)
                 self.notifications_sent += 1
+            if piggyback is not None:
+                # Notification is host-visible: the ACK may leave now
+                # (write-ahead rule; see the DMA stage).
+                dp.nbi_gro.offer(piggyback)
             done.succeed()
             if serial is not None:
                 serial.release()

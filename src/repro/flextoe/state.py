@@ -217,6 +217,38 @@ class PostprocState:
 atomic("post", "cnt_ackb", "cnt_ecnb", "cnt_fretx")
 
 
+class HeartbeatBoard:
+    """Per-stage-group heartbeat sequence numbers in CTM/EMEM.
+
+    Each stage group's firmware bumps its own slot (single writer per
+    key), so the per-group sequences need no atomicity; the aggregate
+    ``hb_beats`` counter is bumped by every group and therefore goes
+    through the atomic-add engine. The control plane samples the board
+    over MMIO on its watchdog tick and declares the data path failed
+    after a configured number of samples with no advancing beat.
+    """
+
+    __slots__ = ("groups", "hb_beats")
+
+    def __init__(self):
+        self.groups = {}  # (stage_kind, group) -> sequence number
+        self.hb_beats = 0
+
+    def publish(self, key):
+        """One heartbeat from stage group ``key``; returns FPC cycles."""
+        self.groups[key] = self.groups.get(key, 0) + 1
+        return atomic_add(self, "hb_beats", 1)
+
+    def snapshot(self):
+        """Host-side MMIO read of every group's current sequence."""
+        return dict(self.groups)
+
+
+#: The aggregate heartbeat counter is written by every stage group, so
+#: it must go through the atomic-add engine like the post counters.
+atomic("heartbeat", "hb_beats")
+
+
 TOTAL_STATE_BYTES = PreprocState.SIZE_BYTES + ProtocolState.SIZE_BYTES + PostprocState.SIZE_BYTES
 
 
@@ -255,6 +287,11 @@ class ConnectionTable:
         if record.index in self._records:
             raise ValueError("connection index {} already installed".format(record.index))
         self._records[record.index] = record
+        # Keep the allocator ahead of externally chosen indices so a
+        # table rebuilt during crash recovery (records re-installed with
+        # their pre-crash indices) never re-allocates a live index.
+        if record.index >= self._next_index:
+            self._next_index = record.index + 1
 
     def records(self):
         """Installed records in index order (deterministic iteration)."""

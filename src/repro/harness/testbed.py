@@ -32,6 +32,7 @@ class FlexToeHost:
         self.control_plane = ControlPlane(
             sim, self.nic, self.machine, local_mac=mac, local_ip=ip, **(cp_kwargs or {})
         )
+        self.control_plane.enable_recovery(station)
         self._next_context = 1
         self.contexts = []
 

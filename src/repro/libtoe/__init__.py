@@ -10,13 +10,24 @@ nearly all application time (Table 1).
 from repro.libtoe.api import LibToeContext, ToeSocket
 from repro.libtoe.buffers import CircularBuffer
 from repro.libtoe.epoll import EventPoll
-from repro.libtoe.errors import ConnectionClosedError, ToeError
+from repro.libtoe.errors import (
+    ConnectionClosedError,
+    ConnectionTimeoutError,
+    ConnectRefusedError,
+    HandshakeTimeoutError,
+    PeerResetError,
+    ToeError,
+)
 
 __all__ = [
     "CircularBuffer",
     "ConnectionClosedError",
+    "ConnectionTimeoutError",
+    "ConnectRefusedError",
     "EventPoll",
+    "HandshakeTimeoutError",
     "LibToeContext",
+    "PeerResetError",
     "ToeError",
     "ToeSocket",
 ]

@@ -19,13 +19,19 @@ from repro.flextoe.descriptors import (
     HC_FIN,
     HC_RX_UPDATE,
     HC_TX_UPDATE,
+    NOTIFY_ERROR,
     NOTIFY_FIN,
     NOTIFY_RX,
     NOTIFY_TX_ACKED,
     HostControlDescriptor,
 )
 from repro.host.cpu import CAT_SOCKETS
-from repro.libtoe.errors import ConnectionClosedError, ToeError
+from repro.libtoe.errors import (
+    ConnectionClosedError,
+    ConnectionTimeoutError,
+    PeerResetError,
+    ToeError,
+)
 
 #: Socket-API cycle costs (calibrated so a request-response pair lands
 #: near Table 1's 740 cycles of POSIX-socket time under FlexTOE).
@@ -53,6 +59,7 @@ class ToeSocket:
         "four_tuple",
         "bytes_sent",
         "bytes_received",
+        "error",
     )
 
     def __init__(self, ctx, conn_index, four_tuple, rx_buffer, tx_buffer):
@@ -69,6 +76,7 @@ class ToeSocket:
         self.fin_sent = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.error = None  # fatal ToeError delivered by the control plane
 
     @property
     def readable(self):
@@ -132,6 +140,8 @@ class LibToeContext:
 
         Returns the number of bytes accepted (all of them when
         ``blocking``)."""
+        if sock.error is not None:
+            raise sock.error
         if sock.peer_fin and not data:
             raise ConnectionClosedError("peer closed")
         total = 0
@@ -141,6 +151,8 @@ class LibToeContext:
                 if not blocking:
                     return total
                 yield from self._wait_and_dispatch()
+                if sock.error is not None:
+                    raise sock.error
             chunk = view[: sock.tx_free]
             yield from self.core.run(
                 COST_SEND + COST_PER_KB_COPY * (len(chunk) // 1024), CAT_SOCKETS
@@ -160,12 +172,16 @@ class LibToeContext:
         """Read up to ``max_bytes`` of in-order payload.
 
         Returns b"" on a clean peer close."""
+        if sock.error is not None:
+            raise sock.error
         while sock.rx_bytes_ready == 0:
             if sock.peer_fin:
                 return b""
             if not blocking:
                 return None
             yield from self._wait_and_dispatch()
+            if sock.error is not None:
+                raise sock.error
         yield from self.core.run(
             COST_RECV + COST_PER_KB_COPY * (min(max_bytes, sock.rx_bytes_ready) // 1024),
             CAT_SOCKETS,
@@ -216,6 +232,11 @@ class LibToeContext:
                 sock.tx_free += notification.length
             elif notification.kind == NOTIFY_FIN:
                 sock.peer_fin = True
+            elif notification.kind == NOTIFY_ERROR:
+                if notification.error == "reset":
+                    sock.error = PeerResetError("connection reset by peer")
+                else:
+                    sock.error = ConnectionTimeoutError("connection timed out")
             for epoll in self.epolls:
                 epoll.on_event(sock)
 

@@ -11,3 +11,17 @@ class ConnectionClosedError(ToeError):
 
 class ConnectRefusedError(ToeError):
     """connect() failed (RST or timeout)."""
+
+
+class HandshakeTimeoutError(ConnectRefusedError):
+    """connect() gave up after max_syn_retries SYN retransmissions."""
+
+
+class ConnectionTimeoutError(ToeError):
+    """Established connection aborted: retransmissions exhausted with no
+    forward progress (the control plane RST the peer and tore down the
+    offload state)."""
+
+
+class PeerResetError(ToeError):
+    """Established connection aborted: the peer sent a valid RST."""

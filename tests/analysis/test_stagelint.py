@@ -239,7 +239,12 @@ def test_direct_violation_not_duplicated_through_callers():
 
 def test_atomic_registry_parses_declarations():
     registry = atomic_registry()
-    assert registry == {"cnt_ackb": "post", "cnt_ecnb": "post", "cnt_fretx": "post"}
+    assert registry == {
+        "cnt_ackb": "post",
+        "cnt_ecnb": "post",
+        "cnt_fretx": "post",
+        "hb_beats": "heartbeat",
+    }
 
 
 ATOMIC_MATRIX = textwrap.dedent(

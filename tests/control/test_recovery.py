@@ -1,0 +1,236 @@
+"""Failure-path control-plane behavior: RTO backoff/abort, RST teardown,
+typed handshake timeouts (ISSUE 4 satellites)."""
+
+import pytest
+
+from repro.control import ControlPlaneConfig
+from repro.harness import Testbed
+from repro.libtoe.errors import (
+    ConnectRefusedError,
+    ConnectionTimeoutError,
+    HandshakeTimeoutError,
+    PeerResetError,
+)
+from repro.proto import FLAG_RST, make_tcp_frame
+
+
+def build(seed=9, server_kwargs=None, client_kwargs=None):
+    bed = Testbed(seed=seed)
+    server = bed.add_flextoe_host("server", cp_kwargs=server_kwargs)
+    client = bed.add_flextoe_host("client", cp_kwargs=client_kwargs)
+    bed.seed_all_arp()
+    return bed, server, client
+
+
+def establish_and_ping(bed, server, client, port=7000):
+    """Establish one connection and complete a clean ping-pong, so the
+    failure under test starts from steady state."""
+    state = {"server_sock": None, "client_sock": None, "ready": False}
+    server_ctx = server.new_context()
+    client_ctx = client.new_context()
+
+    def server_app():
+        listener = server_ctx.listen(port)
+        sock = yield from server_ctx.accept(listener)
+        state["server_sock"] = (server_ctx, sock)
+        data = yield from server_ctx.recv(sock, 1024)
+        yield from server_ctx.send(sock, data)
+
+    def client_app():
+        sock = yield from client_ctx.connect(server.ip, port)
+        state["client_sock"] = (client_ctx, sock)
+        yield from client_ctx.send(sock, b"ping")
+        reply = yield from client_ctx.recv(sock, 1024)
+        state["ready"] = reply == b"ping"
+
+    bed.sim.process(server_app(), name="server")
+    bed.sim.process(client_app(), name="client")
+    bed.sim.run(until=5_000_000)
+    assert state["ready"]
+    return state
+
+
+def test_data_rto_backoff_aborts_with_typed_error():
+    """A black-holed connection retries with exponential backoff, then
+    aborts: RST to the peer, state removed, ConnectionTimeoutError to
+    the app."""
+    max_retries = 4
+    bed, server, client = build(
+        client_kwargs={"config": ControlPlaneConfig(max_data_retries=max_retries)}
+    )
+    state = establish_and_ping(bed, server, client)
+    ctx, sock = state["client_sock"]
+    outcome = {}
+
+    # Take the link down: every retransmission disappears.
+    client.station.port.link.set_up(False)
+
+    def doomed_sender():
+        yield from ctx.send(sock, b"x" * 4000)
+        try:
+            yield from ctx.recv(sock, 1024)
+        except ConnectionTimeoutError:
+            outcome["error"] = "timeout"
+
+    bed.sim.process(doomed_sender(), name="doomed")
+    bed.sim.run(until=400_000_000)
+
+    plane = client.control_plane
+    assert outcome.get("error") == "timeout"
+    assert plane.aborts == 1
+    assert plane.retransmits_posted == max_retries
+    assert len(plane.directory) == 0
+    assert sock.error is not None
+
+
+def test_backoff_doubles_between_attempts():
+    """Retransmission intervals grow geometrically up to rto_max_ns."""
+    config = ControlPlaneConfig(max_data_retries=4, rto_max_ns=100_000_000)
+    bed, server, client = build(client_kwargs={"config": config})
+    state = establish_and_ping(bed, server, client)
+    ctx, sock = state["client_sock"]
+    client.station.port.link.set_up(False)
+
+    entry = next(iter(client.control_plane.directory))
+    multipliers = []
+    original_post = client.nic.post_hc
+
+    def spy_post(context_id, descriptor):
+        if descriptor.kind == "retransmit":
+            multipliers.append(entry.rto_multiplier)
+        return original_post(context_id, descriptor)
+
+    client.nic.post_hc = spy_post
+
+    def doomed_sender():
+        yield from ctx.send(sock, b"x" * 4000)
+        try:
+            yield from ctx.recv(sock, 1024)
+        except ConnectionTimeoutError:
+            pass
+
+    bed.sim.process(doomed_sender(), name="doomed")
+    bed.sim.run(until=400_000_000)
+    assert multipliers == [2, 4, 8, 16]
+
+
+def test_backoff_resets_after_progress():
+    """Loss-driven RTOs must not leave a lingering multiplier once the
+    stream resumes."""
+    from repro.net import LossInjector
+
+    bed, server, client = build()
+    results = {}
+    server_ctx = server.new_context()
+    client_ctx = client.new_context()
+
+    def server_app():
+        listener = server_ctx.listen(7000)
+        sock = yield from server_ctx.accept(listener)
+        got = b""
+        while len(got) < 4000:
+            chunk = yield from server_ctx.recv(sock, 8192)
+            if not chunk:
+                break
+            got += chunk
+        results["got"] = got
+
+    def client_app():
+        sock = yield from client_ctx.connect(server.ip, 7000)
+        bed.switch.loss = LossInjector(bed.rng.stream("late-loss"), probability=0.25)
+        yield from client_ctx.send(sock, b"z" * 4000)
+
+    bed.sim.process(server_app(), name="server")
+    bed.sim.process(client_app(), name="client")
+    bed.sim.run(until=400_000_000)
+    assert results.get("got") == b"z" * 4000
+    for entry in client.control_plane.directory:
+        assert entry.rto_multiplier == 1
+        assert entry.retry_attempts == 0
+
+
+def make_peer_rst(server, client, four_tuple, seq):
+    """An RST as the server's stack would send it toward the client."""
+    local_ip, remote_ip, local_port, remote_port = four_tuple
+    return make_tcp_frame(
+        server.mac,
+        client.mac,
+        remote_ip,
+        local_ip,
+        remote_port,
+        local_port,
+        seq=seq,
+        flags=FLAG_RST,
+    )
+
+
+def test_established_rst_tears_down_connection():
+    bed, server, client = build()
+    state = establish_and_ping(bed, server, client)
+    ctx, sock = state["client_sock"]
+    plane = client.control_plane
+    entry = next(iter(plane.directory))
+    outcome = {}
+
+    def victim():
+        try:
+            yield from ctx.recv(sock, 1024)
+        except PeerResetError:
+            outcome["error"] = "reset"
+
+    def injector():
+        yield bed.sim.timeout(1_000_000)
+        rst = make_peer_rst(server, client, entry.record.four_tuple, entry.record.proto.ack)
+        plane.handle_frame(rst)
+
+    bed.sim.process(victim(), name="victim")
+    bed.sim.process(injector(), name="injector")
+    bed.sim.run(until=50_000_000)
+
+    assert outcome.get("error") == "reset"
+    assert plane.resets_received == 1
+    assert len(plane.directory) == 0
+    assert plane.directory.lookup(entry.record.four_tuple) is None
+
+
+def test_out_of_window_rst_is_ignored():
+    """Blind-RST hardening: a reset whose sequence falls outside the
+    receive window must not kill the connection."""
+    bed, server, client = build()
+    state = establish_and_ping(bed, server, client)
+    plane = client.control_plane
+    entry = next(iter(plane.directory))
+    proto = entry.record.proto
+    bad_seq = (proto.ack + proto.rx_avail + 5_000) & 0xFFFFFFFF
+    rst = make_peer_rst(server, client, entry.record.four_tuple, bad_seq)
+    plane.handle_frame(rst)
+    bed.sim.run(until=bed.sim.now + 1_000_000)
+    assert plane.resets_received == 0
+    assert len(plane.directory) == 1
+
+
+def test_handshake_timeout_is_typed_and_configurable():
+    """An unanswered SYN gives up after max_syn_retries attempts with a
+    HandshakeTimeoutError (a ConnectRefusedError, so existing callers
+    keep working)."""
+    max_retries = 3
+    bed, server, client = build(
+        client_kwargs={"config": ControlPlaneConfig(max_syn_retries=max_retries)}
+    )
+    client.station.port.link.set_up(False)
+    ctx = client.new_context()
+    outcome = {}
+
+    def client_app():
+        try:
+            yield from ctx.connect(server.ip, 7000)
+        except HandshakeTimeoutError:
+            outcome["error"] = "handshake-timeout"
+        except ConnectRefusedError:
+            outcome["error"] = "refused"
+
+    bed.sim.process(client_app(), name="client")
+    bed.sim.run(until=200_000_000)
+    assert outcome.get("error") == "handshake-timeout"
+    assert client.control_plane.syn_retransmits == max_retries - 1
+    assert issubclass(HandshakeTimeoutError, ConnectRefusedError)

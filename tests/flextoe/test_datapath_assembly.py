@@ -175,7 +175,12 @@ def test_atomic_add_charges_engine_latency_and_saturates():
 
     nic = make_nic()
     record = offload(nic)
-    assert atomic_fields() == {"cnt_ackb": "post", "cnt_ecnb": "post", "cnt_fretx": "post"}
+    assert atomic_fields() == {
+        "cnt_ackb": "post",
+        "cnt_ecnb": "post",
+        "cnt_fretx": "post",
+        "hb_beats": "heartbeat",
+    }
     assert atomic_add(record.post, "cnt_ackb", 1460) == LAT_ATOMIC_ADD
     assert record.post.cnt_ackb == 1460
     record.post.cnt_fretx = 254
