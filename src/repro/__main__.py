@@ -1,27 +1,33 @@
-"""``python -m repro``: a 30-second self-demonstration.
+"""``python -m repro``: entry points for the reproduction.
 
-Builds the four-stack testbed, runs one echo RPC on each server stack,
-and prints a latency line per stack — a smoke test that the whole
-simulation (NIC pipeline, control plane, baselines, switch) is healthy.
+With no arguments this runs a 30-second self-demonstration: it builds
+the four-stack testbed, runs one echo RPC exchange on each server
+stack, and prints a latency line per stack — a smoke test that the
+whole simulation (NIC pipeline, control plane, baselines, switch) is
+healthy.
 
-``python -m repro lint`` instead runs the static analysis suite
-(:mod:`repro.analysis.cli`): XDP verifier, stage race lint, and
-sim-process lint.
+Subcommands (each forwards its remaining arguments to the subsystem's
+own argument parser — ``python -m repro <cmd> --help`` for details):
 
-``python -m repro faults`` runs a named deterministic fault plan
-against a stack pair and asserts the delivery/liveness invariants
-(:mod:`repro.faults.cli`).
+* ``lint``   — static analysis suite (:mod:`repro.analysis.cli`): XDP
+  verifier, stage race lint, sim-process lint, atomicity pass.
+* ``faults`` — run a named deterministic fault plan as an asserted test
+  (:mod:`repro.faults.cli`).
+* ``bench``  — simulator performance matrix; writes schema-versioned
+  ``BENCH_flextoe.json`` and gates regressions with ``--compare``
+  (:mod:`repro.bench.cli`).
 """
 
+import argparse
 import sys
-
-from repro.apps import EchoServer
-from repro.apps.rpc import ClosedLoopClient
-from repro.baselines import add_chelsio_host, add_linux_host, add_tas_host
-from repro.harness import Testbed
 
 
 def demo_stack(stack):
+    from repro.apps import EchoServer
+    from repro.apps.rpc import ClosedLoopClient
+    from repro.baselines import add_chelsio_host, add_linux_host, add_tas_host
+    from repro.harness import Testbed
+
     bed = Testbed(seed=7)
     if stack == "flextoe":
         server = bed.add_flextoe_host("server")
@@ -41,7 +47,7 @@ def demo_stack(stack):
     return rpc.histogram
 
 
-def main():
+def demo():
     print("FlexTOE reproduction self-demo: 50 echo RPCs per server stack\n")
     print("%-9s %10s %10s %10s" % ("stack", "p50 (us)", "p99 (us)", "min (us)"))
     for stack in ("flextoe", "tas", "chelsio", "linux"):
@@ -51,19 +57,50 @@ def main():
             % (stack, hist.percentile(50) / 1e3, hist.percentile(99) / 1e3, (hist.min_value or 0) / 1e3)
         )
     print("\nAll four stacks exchanged RPCs over the simulated testbed.")
-    print("Next: pytest tests/  |  pytest benchmarks/ --benchmark-only  |  examples/")
+    print("Next: python -m repro lint  |  python -m repro faults --list  |  python -m repro bench --quick")
+    return 0
+
+
+COMMANDS = {
+    "lint": "static analysis: XDP verifier, stage race lint, sim-process lint",
+    "faults": "run a deterministic fault plan as an asserted test",
+    "bench": "simulator performance matrix -> BENCH_flextoe.json",
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlexTOE reproduction entry points (no subcommand runs the self-demo).",
+        epilog="Each subcommand has its own options: python -m repro <cmd> --help.",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="{%s}" % ",".join(COMMANDS))
+    for name, help_text in COMMANDS.items():
+        sub.add_parser(name, help=help_text, add_help=False)
+    return parser
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Dispatch manually so subcommand options (e.g. ``bench --quick``)
+    # reach the subsystem's own parser verbatim (argparse.REMAINDER
+    # mis-parses leading optionals after a subparser, bpo-17050).
+    if argv and argv[0] in COMMANDS:
+        command, rest = argv[0], argv[1:]
+        if command == "lint":
+            from repro.analysis.cli import main as lint_main
+
+            return lint_main(rest)
+        if command == "faults":
+            from repro.faults.cli import main as faults_main
+
+            return faults_main(rest)
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(rest)
+    build_parser().parse_args(argv)
+    return demo()
 
 
 if __name__ == "__main__":
-    if len(sys.argv) > 1:
-        if sys.argv[1] == "lint":
-            from repro.analysis.cli import main as lint_main
-
-            sys.exit(lint_main(sys.argv[2:]))
-        if sys.argv[1] == "faults":
-            from repro.faults.cli import main as faults_main
-
-            sys.exit(faults_main(sys.argv[2:]))
-        print("usage: python -m repro [lint|faults ...]  (no argument runs the self-demo)")
-        sys.exit(2)
-    main()
+    sys.exit(main())

@@ -7,6 +7,7 @@ run unmodified on any stack.
 """
 
 import random
+import zlib
 from collections import deque
 
 from repro.baselines.engine import HostTcpEngine
@@ -279,7 +280,9 @@ class BaselineHost:
         self._arp_waiters = {}
         self._ephemeral = 42_000
         self._rx_queue = Store(sim, name="{}-rxq".format(name))
-        self.jitter_rng = random.Random(0xC0FFEE ^ hash(name))
+        # crc32, not hash(): str hash is salted per process, and the
+        # golden-digest/bench suites need cross-process determinism.
+        self.jitter_rng = random.Random(0xC0FFEE ^ zlib.crc32(name.encode()))
         self._rx_rr = 0
         self.csum_drops = 0
         self._kernel_lock = Resource(sim, capacity=1) if personality.kernel_lock else None

@@ -1,0 +1,106 @@
+"""``python -m repro bench`` — run the scenario matrix, write the report.
+
+Examples::
+
+    python -m repro bench                        # full matrix -> BENCH_flextoe.json
+    python -m repro bench --quick                # CI-sized matrix
+    python -m repro bench --list
+    python -m repro bench --scenario echo-rpc-16pair --out /tmp/echo.json
+    python -m repro bench --quick --compare BENCH_flextoe.json
+
+``--compare`` exits 1 when any scenario's calibrated events/sec falls
+more than ``--threshold`` (default 15 %) below the baseline report.
+Behaviour drift (different deterministic event counts) is printed as a
+warning only; the golden-digest test suite is the hard gate for that.
+"""
+
+import argparse
+import sys
+
+from repro.bench.runner import (
+    DEFAULT_THRESHOLD,
+    compare_reports,
+    load_report,
+    run_matrix,
+    write_report,
+)
+from repro.bench.scenarios import SCENARIOS
+
+DEFAULT_OUT = "BENCH_flextoe.json"
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Simulator performance benchmark: fixed deterministic scenario matrix.",
+    )
+    parser.add_argument("--quick", action="store_true", help="CI-sized scenarios (a few seconds)")
+    parser.add_argument("--list", action="store_true", help="list scenarios and exit")
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run only this scenario (repeatable; default: full matrix)",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT, metavar="PATH", help="report path (default: %(default)s)"
+    )
+    parser.add_argument("--no-out", action="store_true", help="do not write a report file")
+    parser.add_argument(
+        "--compare", metavar="BASELINE", help="fail on calibrated regression vs this report"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="regression threshold as a fraction (default: %(default)s)",
+    )
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in SCENARIOS:
+            print("%-18s %s" % (name, SCENARIOS[name][1]))
+        return 0
+
+    names = args.scenario or None
+    for name in names or []:
+        if name not in SCENARIOS:
+            parser.error("unknown scenario {!r}; --list shows the matrix".format(name))
+
+    _, report = run_matrix(names=names, quick=args.quick, out=sys.stdout)
+    print(
+        "calibration: %.0f ops/s (%s %s)"
+        % (report["calibration_ops_per_sec"], report["implementation"], report["python"])
+    )
+
+    if not args.no_out:
+        write_report(report, args.out)
+        print("wrote %s" % args.out)
+
+    if args.compare:
+        baseline = load_report(args.compare)
+        if bool(baseline.get("quick")) != bool(report.get("quick")):
+            print(
+                "note: comparing quick=%s run against quick=%s baseline; "
+                "deterministic drift warnings are expected"
+                % (report.get("quick"), baseline.get("quick"))
+            )
+        failures, warnings = compare_reports(report, baseline, threshold=args.threshold)
+        for line in warnings:
+            print("WARN %s" % line)
+        for line in failures:
+            print("FAIL %s" % line)
+        if failures:
+            print("regression vs %s (threshold %.0f%%)" % (args.compare, 100 * args.threshold))
+            return 1
+        print("no regression vs %s (threshold %.0f%%)" % (args.compare, 100 * args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

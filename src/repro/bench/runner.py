@@ -1,0 +1,221 @@
+"""Measurement, report schema, and baseline comparison.
+
+Report schema (``BENCH_flextoe.json``)::
+
+    {
+      "schema": "repro-bench/1",
+      "quick": true,
+      "python": "3.11.7", "implementation": "cpython", "platform": "...",
+      "calibration_ops_per_sec": 1.23e7,
+      "scenarios": {
+        "<name>": {
+          "events": 812345,          # deterministic: sim events processed
+          "sim_ns": 1234567,         # deterministic: final simulated time
+          "wall_s": 0.81,
+          "events_per_sec": 1.0e6,
+          "sim_ns_per_wall_s": 1.5e6,
+          "peak_rss_kb": 48000,
+          "checks": {...}            # deterministic scenario sanity values
+        }, ...
+      }
+    }
+
+Cross-machine comparability: raw events/sec tracks interpreter and CPU
+speed, so ``--compare`` normalizes each side by its own
+``calibration_ops_per_sec`` — a fixed pure-python heap workload measured
+in the same process right before the scenarios. The compared quantity is
+"simulator events per calibration op", which cancels most of the
+machine-speed difference and leaves genuine hot-path regressions.
+"""
+
+import json
+import platform
+import sys
+import time
+from heapq import heappop, heappush
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None
+
+from repro.bench.scenarios import QUICK_MATRIX, SCENARIOS, run_scenario
+
+SCHEMA = "repro-bench/1"
+
+#: Regression threshold for --compare (fraction of baseline).
+DEFAULT_THRESHOLD = 0.15
+
+_CALIBRATION_OPS = 400_000
+
+
+def _peak_rss_kb():
+    if resource is None:
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KB, macOS bytes.
+    return usage // 1024 if sys.platform == "darwin" else usage
+
+
+def calibrate(n_ops=_CALIBRATION_OPS, rounds=3):
+    """Interpreter-speed yardstick: ops/sec of a fixed heap+int workload.
+
+    The workload intentionally resembles the simulator's inner loop
+    (heap pushes/pops, tuple ordering, integer arithmetic) so the
+    normalization in :func:`compare_reports` cancels machine speed.
+    Best-of-``rounds``: the maximum estimates unloaded interpreter
+    speed, which is far more stable than any single sample.
+    """
+    best = 0.0
+    for _ in range(rounds):
+        heap = []
+        acc = 0
+        start = time.perf_counter()  # sim-lint: allow (bench measures wall time)
+        for i in range(n_ops):
+            heappush(heap, ((i * 2654435761) % 1000003, i))
+            acc += i & 0xFF
+            if len(heap) > 64:
+                _, j = heappop(heap)
+                acc ^= j
+        elapsed = time.perf_counter() - start  # sim-lint: allow
+        rate = n_ops / elapsed if elapsed > 0 else float("inf")
+        if rate > best:
+            best = rate
+    return best
+
+
+class BenchResult:
+    """One scenario's measurement."""
+
+    __slots__ = ("name", "events", "sim_ns", "wall_s", "peak_rss_kb", "checks")
+
+    def __init__(self, name, events, sim_ns, wall_s, peak_rss_kb, checks):
+        self.name = name
+        self.events = events
+        self.sim_ns = sim_ns
+        self.wall_s = wall_s
+        self.peak_rss_kb = peak_rss_kb
+        self.checks = checks
+
+    @property
+    def events_per_sec(self):
+        return self.events / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def sim_ns_per_wall_s(self):
+        return self.sim_ns / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def to_jsonable(self):
+        return {
+            "events": self.events,
+            "sim_ns": self.sim_ns,
+            "wall_s": round(self.wall_s, 4),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "sim_ns_per_wall_s": round(self.sim_ns_per_wall_s, 1),
+            "peak_rss_kb": self.peak_rss_kb,
+            "checks": self.checks,
+        }
+
+
+def run_one(name, quick=False, repeats=2):
+    """Measure one scenario; best-of-``repeats`` wall time.
+
+    Scenarios are deterministic, so every repeat does identical work and
+    the fastest wall time is the least-noisy estimate of simulator
+    speed (slower samples measure the machine's background load, not
+    the code). Events/sim-time/checks are identical across repeats.
+    """
+    best_wall = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()  # sim-lint: allow (bench measures wall time)
+        sim, checks = run_scenario(name, quick=quick)
+        wall_s = time.perf_counter() - start  # sim-lint: allow
+        if best_wall is None or wall_s < best_wall:
+            best_wall = wall_s
+    return BenchResult(name, sim.processed_events, sim.now, best_wall, _peak_rss_kb(), checks)
+
+
+def run_matrix(names=None, quick=False, out=None, repeats=2):
+    """Run scenarios; returns (results, report_dict). ``out`` is a stream
+    for progress lines (None = silent)."""
+    names = list(names) if names else list(QUICK_MATRIX)
+    cal = calibrate()
+    results = []
+    for name in names:
+        result = run_one(name, quick=quick, repeats=repeats)
+        results.append(result)
+        if out is not None:
+            out.write(
+                "%-18s %10d events %12d sim-ns %7.2f wall-s %12.0f ev/s %9d KB\n"
+                % (name, result.events, result.sim_ns, result.wall_s, result.events_per_sec, result.peak_rss_kb)
+            )
+    report = {
+        "schema": SCHEMA,
+        "quick": bool(quick),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation().lower(),
+        "platform": platform.platform(),
+        "calibration_ops_per_sec": round(cal, 1),
+        "scenarios": {r.name: r.to_jsonable() for r in results},
+    }
+    return results, report
+
+
+def write_report(report, path):
+    with open(path, "w") as out:
+        json.dump(report, out, indent=2, sort_keys=False)
+        out.write("\n")
+
+
+def load_report(path):
+    with open(path) as source:
+        report = json.load(source)
+    schema = report.get("schema", "")
+    if not str(schema).startswith("repro-bench/"):
+        raise ValueError("{}: not a repro-bench report (schema={!r})".format(path, schema))
+    return report
+
+
+def compare_reports(new, baseline, threshold=DEFAULT_THRESHOLD):
+    """Compare two report dicts; returns (failures, warnings).
+
+    A *failure* is a calibrated events/sec regression beyond
+    ``threshold`` on a scenario present in both reports. A *warning* is
+    behaviour drift: the deterministic ``events``/``sim_ns``/``checks``
+    values differ (the golden-digest tests are the hard gate for that —
+    here it is advisory, since baselines may predate behaviour changes).
+    """
+    failures = []
+    warnings = []
+    new_cal = float(new.get("calibration_ops_per_sec") or 1.0)
+    old_cal = float(baseline.get("calibration_ops_per_sec") or 1.0)
+    old_scenarios = baseline.get("scenarios", {})
+    for name, fresh in new.get("scenarios", {}).items():
+        old = old_scenarios.get(name)
+        if old is None:
+            warnings.append("{}: not in baseline (new scenario?)".format(name))
+            continue
+        new_norm = float(fresh["events_per_sec"]) / new_cal
+        old_norm = float(old["events_per_sec"]) / old_cal
+        if old_norm > 0 and new_norm < old_norm * (1.0 - threshold):
+            failures.append(
+                "{}: calibrated events/sec regressed {:.1f}% (norm {:.4f} -> {:.4f}; "
+                "raw {:.0f} -> {:.0f} ev/s)".format(
+                    name,
+                    100.0 * (1.0 - new_norm / old_norm),
+                    old_norm,
+                    new_norm,
+                    float(old["events_per_sec"]),
+                    float(fresh["events_per_sec"]),
+                )
+            )
+        for key in ("events", "sim_ns"):
+            if old.get(key) != fresh.get(key):
+                warnings.append(
+                    "{}: {} drifted {} -> {} (behaviour change? see golden digests)".format(
+                        name, key, old.get(key), fresh.get(key)
+                    )
+                )
+        if old.get("checks") != fresh.get("checks"):
+            warnings.append("{}: checks drifted {} -> {}".format(name, old.get("checks"), fresh.get("checks")))
+    return failures, warnings

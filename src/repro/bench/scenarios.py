@@ -1,0 +1,161 @@
+"""The benchmark scenario matrix.
+
+Each scenario builds a fresh :class:`~repro.harness.Testbed` with a
+fixed seed, drives a short deterministic workload to completion, and
+returns ``(sim, checks)`` — the simulator (for event/time accounting by
+the runner) plus a dict of scenario-level sanity values (RPC counts,
+delivered bytes). Scenarios are deterministic by construction: same
+code, same seed, same event count and same final sim time. The runner
+records those alongside the wall-clock numbers, so a *behaviour* change
+shows up in ``--compare`` as a drift warning even when performance is
+fine.
+
+Sizes are deliberately small (a few hundred milliseconds of simulated
+time): the point is a stable performance trajectory, not paper figures —
+``benchmarks/`` does that.
+"""
+
+from repro.apps import EchoServer, MemcachedServer, MemtierClient
+from repro.apps.rpc import ClosedLoopClient
+from repro.faults.invariants import assert_exact_delivery, run_until
+from repro.faults.plans import make_plan
+from repro.harness import Testbed
+
+#: Scenario registry: name -> (builder, description).
+SCENARIOS = {}
+
+#: The subset the CI quick gate runs (all of them, at quick sizes).
+QUICK_MATRIX = ("echo-rpc-16pair", "memcached-64conn", "loss-recovery", "fault-soak")
+
+
+def scenario(name, description):
+    def register(fn):
+        SCENARIOS[name] = (fn, description)
+        return fn
+
+    return register
+
+
+def run_scenario(name, quick=False):
+    """Run one scenario; returns ``(sim, checks)``."""
+    try:
+        fn, _ = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown scenario {!r}; known: {}".format(name, ", ".join(sorted(SCENARIOS)))
+        )
+    return fn(quick)
+
+
+@scenario("echo-rpc-16pair", "16 closed-loop 64B echo RPC pairs, FlexTOE on both sides")
+def echo_rpc_16pair(quick=False):
+    pairs = 16
+    n_requests = 40 if quick else 150
+    bed = Testbed(seed=3)
+    server = bed.add_flextoe_host("server")
+    client = bed.add_flextoe_host("client")
+    bed.seed_all_arp()
+    clients = []
+    waiters = []
+    for i in range(pairs):
+        echo = EchoServer(server.new_context(i % 20), 7000 + i, request_size=64)
+        bed.sim.process(echo.run(), name="echo%d" % i)
+        rpc = ClosedLoopClient(client.new_context(i % 20), server.ip, 7000 + i, 64, 64, warmup=2)
+        waiters.append(bed.sim.process(rpc.run(n_requests), name="rpc%d" % i))
+        clients.append(rpc)
+    bed.sim.run(until=bed.sim.all_of(waiters))
+    completed = sum(c.completed for c in clients)
+    if completed != pairs * n_requests:
+        raise AssertionError("echo scenario incomplete: %d RPCs" % completed)
+    return bed.sim, {"rpcs": completed}
+
+
+@scenario("memcached-64conn", "64 memtier connections against 4 memcached server contexts")
+def memcached_64conn(quick=False):
+    conns = 64
+    server_ctxs = 4
+    n_requests = 6 if quick else 25
+    bed = Testbed(seed=5)
+    server = bed.add_flextoe_host("server")
+    client = bed.add_flextoe_host("client")
+    bed.seed_all_arp()
+    store = {}
+    for i in range(server_ctxs):
+        mc = MemcachedServer(server.new_context(i % 20), 11211 + i, store=store)
+        bed.sim.process(mc.run(), name="memcached%d" % i)
+    tiers = []
+    waiters = []
+    for i in range(conns):
+        tier = MemtierClient(
+            client.new_context(i % 20),
+            server.ip,
+            11211 + (i % server_ctxs),
+            seed=i,
+            warmup=1,
+        )
+        waiters.append(bed.sim.process(tier.run(n_requests), name="memtier%d" % i))
+        tiers.append(tier)
+    bed.sim.run(until=bed.sim.all_of(waiters))
+    completed = sum(t.completed for t in tiers)
+    if completed != conns * n_requests:
+        raise AssertionError("memcached scenario incomplete: %d requests" % completed)
+    return bed.sim, {"requests": completed}
+
+
+def _stream_pair(bed, server, client, n_bytes, state):
+    """Client streams n_bytes to the server; server echoes them reversed."""
+    message = bytes(i % 251 for i in range(n_bytes))
+
+    def server_app(ctx):
+        listener = ctx.listen(7000)
+        sock = yield from ctx.accept(listener)
+        data = b""
+        while len(data) < n_bytes:
+            chunk = yield from ctx.recv(sock, 65536)
+            if not chunk:
+                return
+            data += chunk
+        state["echoed"] = data
+        yield from ctx.send(sock, data[::-1])
+
+    def client_app(ctx):
+        sock = yield from ctx.connect(server.ip, 7000)
+        yield from ctx.send(sock, message)
+        reply = b""
+        while len(reply) < n_bytes:
+            chunk = yield from ctx.recv(sock, 65536)
+            if not chunk:
+                break
+            reply += chunk
+        state["reply"] = reply
+        state["done"] = True
+
+    bed.sim.process(server_app(server.new_context()), name="bench-server")
+    bed.sim.process(client_app(client.new_context()), name="bench-client")
+    return message
+
+
+def _fault_stream(plan_name, seed, n_bytes, label):
+    bed = Testbed(seed=seed)
+    server = bed.add_flextoe_host("server")
+    client = bed.add_flextoe_host("client")
+    bed.seed_all_arp()
+    controller = bed.install_fault_plan(make_plan(plan_name))
+    state = {"echoed": b"", "reply": b"", "done": False}
+    message = _stream_pair(bed, server, client, n_bytes, state)
+    run_until(bed, lambda: state["done"], 4_000_000_000, label=label)
+    assert_exact_delivery(message, state["echoed"], "client->server")
+    assert_exact_delivery(message[::-1], state["reply"], "server->client")
+    return bed.sim, {"bytes": 2 * n_bytes, "injections": len(controller.log)}
+
+
+@scenario("loss-recovery", "bidirectional byte stream under the bursty-loss plan")
+def loss_recovery(quick=False):
+    # Floors chosen so even --quick runs ~0.25s wall: shorter runs put
+    # the 15% compare gate inside scheduler-timing noise.
+    return _fault_stream("bursty-loss", seed=7, n_bytes=150_000 if quick else 300_000, label="bench:loss-recovery")
+
+
+@scenario("fault-soak", "longer stream under the dma-flake plan (retry-path soak)")
+def fault_soak(quick=False):
+    return _fault_stream("dma-flake", seed=7, n_bytes=150_000 if quick else 300_000, label="bench:fault-soak")

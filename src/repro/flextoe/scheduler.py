@@ -50,6 +50,10 @@ class CarouselScheduler:
         self._rr = deque()
         self._wheel = [deque() for _ in range(n_slots)]
         self._wheel_population = 0
+        #: Indices of populated wheel slots. The wheel has 4096 slots but
+        #: rarely more than a handful of queued flows; scanning the full
+        #: wheel on every idle transition dominated the profile.
+        self._wheel_nonempty = set()
         self._wake = None
         self.triggers_issued = 0
         self.rate_limited_enqueues = 0
@@ -93,6 +97,7 @@ class CarouselScheduler:
         deadline = max(entry.next_deadline, self.sim.now)
         slot = (deadline // self.slot_ns) % self.n_slots
         self._wheel[slot].append((deadline, entry))
+        self._wheel_nonempty.add(slot)
         self._wheel_population += 1
         self.rate_limited_enqueues += 1
 
@@ -106,24 +111,33 @@ class CarouselScheduler:
             return self._rr.popleft()
         if self._wheel_population == 0:
             return None
-        slot = (self.sim.now // self.slot_ns) % self.n_slots
+        now = self.sim.now
+        slot = (now // self.slot_ns) % self.n_slots
+        n_slots = self.n_slots
         # Scan from the current slot backwards over the horizon for due
         # entries. Real hardware pops the slot queue whose deadline
-        # passed; a scan is equivalent and keeps the model simple.
-        for back in range(self.n_slots):
-            bucket = self._wheel[(slot - back) % self.n_slots]
-            while bucket:
+        # passed; a scan is equivalent and keeps the model simple. Only
+        # populated slots are visited, in the same backwards order the
+        # full sweep would reach them.
+        for index in sorted(self._wheel_nonempty, key=lambda s: (slot - s) % n_slots):
+            bucket = self._wheel[index]
+            if bucket:
                 deadline, entry = bucket[0]
-                if deadline <= self.sim.now:
+                if deadline <= now:
                     bucket.popleft()
                     self._wheel_population -= 1
+                    if not bucket:
+                        self._wheel_nonempty.discard(index)
                     return entry
-                break
         return None
 
     def _next_wheel_deadline(self):
+        if self._wheel_population == 0:
+            return None
+        wheel = self._wheel
         soonest = None
-        for bucket in self._wheel:
+        for index in self._wheel_nonempty:
+            bucket = wheel[index]
             if bucket:
                 deadline = bucket[0][0]
                 if soonest is None or deadline < soonest:

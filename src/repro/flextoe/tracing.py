@@ -52,6 +52,8 @@ TRACEPOINTS = {
 class TracepointRegistry:
     """Holds enablement state and the shared recorder."""
 
+    __slots__ = ("recorder", "enabled", "_active")
+
     def __init__(self, enabled=False, recorder=None):
         self.recorder = recorder or TraceRecorder(enabled=enabled, limit=200_000)
         self.enabled = enabled

@@ -9,11 +9,25 @@ serializer modeling the transmit rate, plus a propagation delay.
 ETH_OVERHEAD = 24  # preamble(8) + FCS(4) + IFG(12) bytes per frame on the wire
 MIN_FRAME = 64
 
+#: wire_time_ns memo: rate_bps -> {length: ns}. Traffic uses a handful
+#: of rates and frame sizes, so this converges almost immediately; the
+#: bound guards pathological fuzzing workloads.
+_WIRE_TIME_CACHE = {}
+_WIRE_TIME_CACHE_MAX = 8192
+
 
 def wire_time_ns(rate_bps, length):
     """Serialization time of ``length`` payload bytes at ``rate_bps``."""
-    on_wire = max(length, MIN_FRAME) + ETH_OVERHEAD
-    return -(-on_wire * 8 * 1_000_000_000 // rate_bps)
+    per_rate = _WIRE_TIME_CACHE.get(rate_bps)
+    if per_rate is None:
+        per_rate = _WIRE_TIME_CACHE[rate_bps] = {}
+    ns = per_rate.get(length)
+    if ns is None:
+        on_wire = max(length, MIN_FRAME) + ETH_OVERHEAD
+        ns = -(-on_wire * 8 * 1_000_000_000 // rate_bps)
+        if len(per_rate) < _WIRE_TIME_CACHE_MAX:
+            per_rate[length] = ns
+    return ns
 
 
 class Port:

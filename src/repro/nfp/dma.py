@@ -30,6 +30,7 @@ class DmaEngine:
             Resource(sim, capacity=queue_depth, name="dma-q{}".format(i)) for i in range(n_queues)
         ]
         self._busy_until = 0
+        self._transfer_ns_cache = {}
         self.ops = 0
         self.bytes_moved = 0
         #: Optional fault hook (repro.faults): called with the transfer
@@ -39,9 +40,15 @@ class DmaEngine:
         self.retry_ns_total = 0
 
     def transfer_time_ns(self, nbytes):
-        if nbytes <= 0:
-            return 0
-        return -(-nbytes * 8 * 1_000_000_000 // self.bandwidth_bps)
+        # Memoized: descriptors come in a handful of fixed sizes
+        # (headers, notifications, MSS payload slices).
+        cache = self._transfer_ns_cache
+        ns = cache.get(nbytes)
+        if ns is None:
+            ns = 0 if nbytes <= 0 else -(-nbytes * 8 * 1_000_000_000 // self.bandwidth_bps)
+            if len(cache) < 4096:
+                cache[nbytes] = ns
+        return ns
 
     def issue(self, queue_id, nbytes):
         """Start a DMA of ``nbytes``; returns an event firing on completion.

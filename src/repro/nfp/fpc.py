@@ -39,8 +39,7 @@ class FpcThread:
             return
         fpc = self.fpc
         grant = yield fpc._issue.request()
-        duration = fpc.clock.cycles_to_ns(cycles)
-        yield self.sim.timeout(duration)
+        yield fpc.sim.timeout(fpc.cycles_to_ns(cycles))
         fpc.busy_cycles += cycles
         grant.release()
 
@@ -49,13 +48,13 @@ class FpcThread:
         wait with the issue slot released (another thread may run)."""
         yield from self.compute(issue_cycles)
         level.reads += 1
-        yield self.sim.timeout(self.fpc.clock.cycles_to_ns(level.latency_cycles))
+        yield self.sim.timeout(self.fpc.cycles_to_ns(level.latency_cycles))
 
     def mem_write(self, level, issue_cycles=ISSUE_CYCLES):
         """Write (posted): brief issue, then latency wait off-slot."""
         yield from self.compute(issue_cycles)
         level.writes += 1
-        yield self.sim.timeout(self.fpc.clock.cycles_to_ns(level.latency_cycles))
+        yield self.sim.timeout(self.fpc.cycles_to_ns(level.latency_cycles))
 
     def io_wait(self, event, issue_cycles=ISSUE_CYCLES):
         """Issue an IO command and sleep until ``event`` fires."""
@@ -65,7 +64,7 @@ class FpcThread:
 
     def wait_cycles(self, cycles):
         """Sleep without occupying the issue slot (e.g. signal wait)."""
-        yield self.sim.timeout(self.fpc.clock.cycles_to_ns(cycles))
+        yield self.sim.timeout(self.fpc.cycles_to_ns(cycles))
 
 
 class Fpc:
@@ -75,6 +74,9 @@ class Fpc:
         self.sim = sim
         self.name = name
         self.clock = clock
+        #: Bound memoized converter (see Clock.cycles_to_ns); saves an
+        #: attribute hop on every compute/mem wait.
+        self.cycles_to_ns = clock.cycles_to_ns
         self.n_threads = n_threads
         self.code_store = code_store
         self.code_used = 0

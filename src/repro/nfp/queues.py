@@ -19,6 +19,8 @@ from repro.nfp.memory import LAT_CLS, LAT_EMEM, LAT_IMEM
 class ClsRing:
     """A bounded ring in island-local CLS memory."""
 
+    __slots__ = ("store", "access_latency", "name")
+
     def __init__(self, sim, capacity=64, name="cls-ring"):
         self.store = Store(sim, capacity=capacity, name=name)
         self.access_latency = LAT_CLS
@@ -43,6 +45,8 @@ class ClsRing:
 
 class WorkQueue:
     """An IMEM- or EMEM-backed work queue (cross-island, work-stealing)."""
+
+    __slots__ = ("store", "access_latency", "backing", "name")
 
     def __init__(self, sim, capacity=None, name="work-queue", backing="imem"):
         self.store = Store(sim, capacity=capacity, name=name)
@@ -69,6 +73,8 @@ class WorkQueue:
 
 class TicketLock:
     """A fair spin lock: acquire order equals ticket order."""
+
+    __slots__ = ("sim", "name", "_next_ticket", "_now_serving", "_waiters")
 
     def __init__(self, sim, name="ticket-lock"):
         self.sim = sim

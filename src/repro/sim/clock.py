@@ -29,7 +29,11 @@ class Clock:
     10
     """
 
-    __slots__ = ("hz", "_ns_num", "_ns_den")
+    __slots__ = ("hz", "_ns_num", "_ns_den", "_ns_cache")
+
+    #: cycles_to_ns memo bound; stage costs and memory latencies are a
+    #: small set of constants, so the cache converges within a few events.
+    CACHE_MAX = 4096
 
     def __init__(self, hz):
         if hz <= 0:
@@ -38,10 +42,22 @@ class Clock:
         # cycles -> ns multiplier as a rational: ns = cycles * 1e9 / hz
         self._ns_num = SCALE_S
         self._ns_den = self.hz
+        self._ns_cache = {}
 
     def cycles_to_ns(self, cycles):
-        """Duration of ``cycles`` clock cycles, in ns (rounded up)."""
-        return -(-int(cycles) * self._ns_num // self._ns_den)
+        """Duration of ``cycles`` clock cycles, in ns (rounded up).
+
+        Memoized: the hot path converts the same per-stage cycle
+        constants (LMEM/CLS/CTM/IMEM/EMEM latencies, stage costs)
+        millions of times per run.
+        """
+        cache = self._ns_cache
+        ns = cache.get(cycles)
+        if ns is None:
+            ns = -(-int(cycles) * self._ns_num // self._ns_den)
+            if len(cache) < self.CACHE_MAX:
+                cache[cycles] = ns
+        return ns
 
     def ns_to_cycles(self, ns):
         """Number of full cycles elapsing in ``ns`` nanoseconds."""

@@ -3,13 +3,39 @@
 The design follows simpy's coroutine model: a :class:`Process` wraps a
 generator that yields :class:`Event` objects; the process resumes when the
 yielded event fires. Time is an integer (nanoseconds by convention).
+
+Hot-path notes (ISSUE 5): millions of heap pushes, generator resumes and
+event allocations dominate every experiment, so this module trades a
+little plainness for speed where profiles said it matters:
+
+* :meth:`Simulator.run` inlines the :meth:`Simulator.step` body and
+  binds heap/pool lookups to locals — one Python frame per run, not one
+  per event.
+* Single-use events (:class:`Timeout`, and the store put/get events
+  registered by :mod:`repro.sim.resources`) are recycled through
+  per-simulator free lists. An event is only reclaimed when, after its
+  callbacks ran, the dispatch loop holds the *sole* remaining reference
+  (``sys.getrefcount == 2``) — so a pool can never hand out an object
+  some process, condition, or trace still sees. Recycling preserves
+  behaviour exactly: same schedule order, same ``_seq`` assignment, the
+  object identity is just reused after death.
+* :class:`Condition` results are built directly from the sub-event list
+  instead of a tracking set; bound-method callbacks are created once.
+
+Everything observable — event ordering, timestamps, values, error
+propagation — is pinned by ``tests/sim`` (including hypothesis
+properties) and the golden-digest suite in ``tests/integration``.
 """
 
-import heapq
+from heapq import heappop, heappush
+from sys import getrefcount
 
 #: Event priorities. Lower sorts earlier at equal timestamps.
 URGENT = 0
 NORMAL = 1
+
+#: Per-class cap on recycled events kept around per simulator.
+POOL_MAX = 1024
 
 
 class SimulationError(Exception):
@@ -25,6 +51,17 @@ class Interrupt(Exception):
 
 
 PENDING = object()
+
+#: Event classes eligible for free-list recycling. Only single-use leaf
+#: events belong here (their class must be exactly the registered one);
+#: :func:`register_poolable` is called by :mod:`repro.sim.resources`.
+_POOLABLE = set()
+
+
+def register_poolable(cls):
+    """Mark an Event subclass as recyclable through the simulator pools."""
+    _POOLABLE.add(cls)
+    return cls
 
 
 class Event:
@@ -65,7 +102,11 @@ class Event:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        self.sim._post(self, NORMAL)
+        if not self._scheduled:
+            self._scheduled = True
+            sim = self.sim
+            sim._seq += 1
+            heappush(sim._heap, (sim.now, NORMAL, sim._seq, self))
         return self
 
     def fail(self, exception):
@@ -76,7 +117,11 @@ class Event:
             raise SimulationError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.sim._post(self, NORMAL)
+        if not self._scheduled:
+            self._scheduled = True
+            sim = self.sim
+            sim._seq += 1
+            heappush(sim._heap, (sim.now, NORMAL, sim._seq, self))
         return self
 
     def __repr__(self):
@@ -84,6 +129,7 @@ class Event:
         return "<{} {}>".format(type(self).__name__, state)
 
 
+@register_poolable
 class Timeout(Event):
     """An event that fires after a fixed delay."""
 
@@ -92,10 +138,15 @@ class Timeout(Event):
     def __init__(self, sim, delay, value=None):
         if delay < 0:
             raise SimulationError("negative timeout delay: {!r}".format(delay))
-        super().__init__(sim)
-        self._ok = True
+        # Inlined Event.__init__ + scheduling: a Timeout is born
+        # triggered-and-scheduled, there is no pending intermediate.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._post(self, NORMAL, delay=delay)
+        self._ok = True
+        self._scheduled = True
+        sim._seq += 1
+        heappush(sim._heap, (sim.now + delay, NORMAL, sim._seq, self))
 
 
 class Initialize(Event):
@@ -104,17 +155,19 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, sim, process):
-        super().__init__(sim)
-        self._ok = True
+        self.sim = sim
         self._value = None
-        self.callbacks.append(process._resume)
-        sim._post(self, URGENT)
+        self._ok = True
+        self._scheduled = True
+        self.callbacks = [process._resume]
+        sim._seq += 1
+        heappush(sim._heap, (sim.now, URGENT, sim._seq, self))
 
 
 class Process(Event):
     """A running generator; also an event that fires when it terminates."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_resume_cb", "name")
 
     def __init__(self, sim, generator, name=None):
         if not hasattr(generator, "throw"):
@@ -122,6 +175,7 @@ class Process(Event):
         super().__init__(sim)
         self._generator = generator
         self._target = None
+        self._resume_cb = self._resume  # one bound method for every wait
         self.name = name or getattr(generator, "__name__", "process")
         Initialize(sim, self)
 
@@ -134,16 +188,17 @@ class Process(Event):
         if self._value is not PENDING:
             raise SimulationError("cannot interrupt a terminated process")
         target = self._target
-        if target is not None and target.callbacks and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
+        if target is not None and target.callbacks and self._resume_cb in target.callbacks:
+            target.callbacks.remove(self._resume_cb)
         event = Event(self.sim)
         event._ok = False
         event._value = Interrupt(cause)
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
         self.sim._post(event, URGENT)
 
     def _resume(self, event):
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._ok:
                 result = self._generator.send(event._value)
@@ -151,72 +206,72 @@ class Process(Event):
                 result = self._generator.throw(event._value)
         except StopIteration as stop:
             self._ok = True
-            self._value = getattr(stop, "value", None)
-            self.sim._post(self, NORMAL)
-            self.sim._active_process = None
+            self._value = stop.value
+            sim._post(self, NORMAL)
+            sim._active_process = None
             return
         except BaseException as exc:
             if not self.callbacks:
-                self.sim._active_process = None
+                sim._active_process = None
                 raise
             self._ok = False
             self._value = exc
-            self.sim._post(self, NORMAL)
-            self.sim._active_process = None
+            sim._post(self, NORMAL)
+            sim._active_process = None
             return
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
         if not isinstance(result, Event):
             raise SimulationError(
                 "process {!r} yielded {!r}; processes must yield events".format(self.name, result)
             )
         if result.callbacks is None:
             # Already-fired, already-drained event: resume immediately.
-            event2 = Event(self.sim)
+            event2 = Event(sim)
             event2._ok = result._ok
             event2._value = result._value
-            event2.callbacks.append(self._resume)
-            self.sim._post(event2, URGENT)
+            event2.callbacks.append(self._resume_cb)
+            sim._post(event2, URGENT)
             self._target = event2
         else:
-            result.callbacks.append(self._resume)
+            result.callbacks.append(self._resume_cb)
             self._target = result
 
 
 class Condition(Event):
     """Fires when a boolean combination of sub-events is satisfied."""
 
-    __slots__ = ("_events", "_count", "_done")
+    __slots__ = ("_events", "_count", "_all")
 
     def __init__(self, sim, events, wait_for_all):
         super().__init__(sim)
         self._events = list(events)
-        self._done = set()
+        self._all = wait_for_all
         need = len(self._events) if wait_for_all else min(1, len(self._events))
         self._count = need
         if need == 0:
             self.succeed({})
             return
+        check = self._check  # one bound method shared by all sub-events
         for event in self._events:
             if event.callbacks is None:
                 # Already fired and drained.
-                self._check(event)
+                check(event)
             else:
-                event.callbacks.append(self._check)
-
-    def _collect(self):
-        return {e: e._value for e in self._events if e in self._done}
+                event.callbacks.append(check)
 
     def _check(self, event):
-        self._done.add(event)
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if not event._ok:
             self.fail(event._value)
             return
         self._count -= 1
         if self._count <= 0:
-            self.succeed(self._collect())
+            if self._all:
+                self.succeed({e: e._value for e in self._events})
+            else:
+                self.succeed({event: event._value})
 
 
 class AllOf(Condition):
@@ -257,6 +312,8 @@ class Simulator:
         self._seq = 0
         self._active_process = None
         self._event_count = 0
+        #: class -> free list of dead event objects (see module docstring).
+        self._pools = {cls: [] for cls in _POOLABLE}
 
     # -- scheduling ------------------------------------------------------
 
@@ -265,7 +322,19 @@ class Simulator:
             return
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    def _recycle(self, event):
+        """Return a dispatched event to its free list if it is dead.
+
+        Called by the dispatch loops with the popped event after its
+        callbacks ran. ``getrefcount == 2`` (this frame's local + the
+        getrefcount argument) proves nothing else references the object,
+        so handing it out again can never alias a live event.
+        """
+        pool = self._pools.get(event.__class__)
+        if pool is not None and len(pool) < POOL_MAX and getrefcount(event) == 2:
+            pool.append(event)
 
     # -- factories -------------------------------------------------------
 
@@ -273,7 +342,19 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay, value=None):
-        return Timeout(self, int(delay), value)
+        delay = int(delay)
+        if delay < 0:
+            raise SimulationError("negative timeout delay: {!r}".format(delay))
+        pool = self._pools[Timeout]
+        if pool:
+            timeout = pool.pop()
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._ok = True
+            self._seq += 1
+            heappush(self._heap, (self.now + delay, NORMAL, self._seq, timeout))
+            return timeout
+        return Timeout(self, delay, value)
 
     def process(self, generator, name=None):
         return Process(self, generator, name=name)
@@ -292,7 +373,7 @@ class Simulator:
 
     def step(self):
         """Process one event. Raises IndexError when the heap is empty."""
-        when, _priority, _seq, event = heapq.heappop(self._heap)
+        when, _priority, _seq, event = heappop(self._heap)
         if when < self.now:
             raise SimulationError("time went backwards")
         self.now = when
@@ -301,31 +382,65 @@ class Simulator:
         event.callbacks = None
         for callback in callbacks:
             callback(event)
+        self._recycle(event)
 
     def run(self, until=None):
         """Run until the heap drains or simulated time reaches ``until``.
 
         ``until`` may also be an :class:`Event`; the loop then runs until
         that event fires (its value is returned).
+
+        The loops below are :meth:`step` unrolled with locals bound
+        outside the loop; they must stay behaviourally identical to it.
         """
-        if isinstance(until, Event):
-            stop = until
-            while not stop.triggered:
-                if not self._heap:
-                    raise SimulationError("simulation ran out of events before condition")
-                self.step()
-            if not stop._ok:
-                raise stop._value
-            return stop._value
-        deadline = None if until is None else int(until)
-        while self._heap:
-            if deadline is not None and self._heap[0][0] > deadline:
+        heap = self._heap
+        pools = self._pools
+        pool_get = pools.get
+        count = 0
+        try:
+            if isinstance(until, Event):
+                stop = until
+                while stop._value is PENDING:
+                    if not heap:
+                        raise SimulationError("simulation ran out of events before condition")
+                    when, _priority, _seq, event = heappop(heap)
+                    if when < self.now:
+                        raise SimulationError("time went backwards")
+                    self.now = when
+                    count += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    pool = pool_get(event.__class__)
+                    if pool is not None and len(pool) < POOL_MAX and getrefcount(event) == 2:
+                        pool.append(event)
+                if not stop._ok:
+                    raise stop._value
+                return stop._value
+            deadline = None if until is None else int(until)
+            while heap:
+                when = heap[0][0]
+                if deadline is not None and when > deadline:
+                    self.now = deadline
+                    return None
+                event = heappop(heap)[3]
+                if when < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = when
+                count += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                pool = pool_get(event.__class__)
+                if pool is not None and len(pool) < POOL_MAX and getrefcount(event) == 2:
+                    pool.append(event)
+            if deadline is not None:
                 self.now = deadline
-                return None
-            self.step()
-        if deadline is not None:
-            self.now = deadline
-        return None
+            return None
+        finally:
+            self._event_count += count
 
     @property
     def processed_events(self):

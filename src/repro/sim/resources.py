@@ -8,9 +8,10 @@ issue slots are :class:`Resource` objects, and so on.
 import heapq
 from collections import deque
 
-from repro.sim.core import Event, SimulationError
+from repro.sim.core import PENDING, Event, SimulationError, register_poolable
 
 
+@register_poolable
 class StorePut(Event):
     __slots__ = ("item",)
 
@@ -21,6 +22,7 @@ class StorePut(Event):
         store._trigger()
 
 
+@register_poolable
 class StoreGet(Event):
     __slots__ = ()
 
@@ -28,6 +30,21 @@ class StoreGet(Event):
         super().__init__(store.sim)
         store._get_queue.append(self)
         store._trigger()
+
+
+def _acquire(cls, sim):
+    """Pop a recycled event of ``cls`` from the simulator's free list and
+    re-arm it, or return None when the pool is empty. See the pooling
+    notes in :mod:`repro.sim.core`."""
+    pool = sim._pools[cls]
+    if pool:
+        event = pool.pop()
+        event.callbacks = []
+        event._value = PENDING
+        event._ok = True
+        event._scheduled = False
+        return event
+    return None
 
 
 class Store:
@@ -69,10 +86,21 @@ class Store:
         self._trigger()
 
     def put(self, item):
-        return StorePut(self, item)
+        put = _acquire(StorePut, self.sim)
+        if put is None:
+            return StorePut(self, item)
+        put.item = item
+        self._put_queue.append(put)
+        self._trigger()
+        return put
 
     def get(self):
-        return StoreGet(self)
+        get = _acquire(StoreGet, self.sim)
+        if get is None:
+            return StoreGet(self)
+        self._get_queue.append(get)
+        self._trigger()
+        return get
 
     def try_put(self, item):
         """Non-blocking put. Returns True if the item was accepted."""

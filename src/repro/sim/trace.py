@@ -9,6 +9,8 @@ Data-path tracepoints (§5.1 of the paper) are built on this.
 class TraceRecorder:
     """Collects trace records; can be filtered by source or event name."""
 
+    __slots__ = ("enabled", "limit", "records", "dropped")
+
     def __init__(self, enabled=False, limit=None):
         self.enabled = enabled
         self.limit = limit

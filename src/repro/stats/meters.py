@@ -4,6 +4,8 @@
 class ThroughputMeter:
     """Counts events/bytes over a window of simulated time."""
 
+    __slots__ = ("sim", "started_at", "events", "bytes")
+
     def __init__(self, sim):
         self.sim = sim
         self.started_at = sim.now
@@ -34,6 +36,8 @@ class ThroughputMeter:
 
 class IntervalSeries:
     """Per-interval samples (e.g. per-connection goodput over a run)."""
+
+    __slots__ = ("samples",)
 
     def __init__(self):
         self.samples = []

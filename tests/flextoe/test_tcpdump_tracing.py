@@ -119,3 +119,32 @@ def test_tracepoint_catalog_size():
     # The paper implements up to 48 tracepoints; the catalog holds the
     # documented set and is extensible.
     assert 25 <= len(TRACEPOINTS) <= 48
+
+
+def test_field_filters_reject_non_tcp_frames():
+    # A field filter must treat frames without IP/TCP headers as misses,
+    # not crash on the absent headers.
+    from repro.proto import ARP_REQUEST, ArpHeader, EthernetHeader, ETHERTYPE_ARP, Frame
+
+    arp = Frame(
+        EthernetHeader(0xFFFFFFFFFFFF, 0xA, ethertype=ETHERTYPE_ARP),
+        arp=ArpHeader(ARP_REQUEST, 0xA, SRC, 0, DST),
+    )
+    assert not PacketFilter(src_ip=SRC).matches(arp)
+    assert not PacketFilter(sport=1000).matches(arp)
+    assert not PacketFilter(tcp_flags_any=FLAG_SYN).matches(arp)
+    assert PacketFilter().matches(arp)  # empty filter matches anything
+    capture = PacketCapture(packet_filter=PacketFilter(dport=2000))
+    assert not capture.capture(0, "rx", arp)
+    assert capture.cost_cycles(arp) == FILTER_COST_CYCLES
+
+
+def test_pcap_timestamp_microsecond_rounding(tmp_path):
+    from repro.flextoe.tcpdump import read_pcap
+
+    capture = PacketCapture()
+    capture.capture(1_000_000_999, "rx", frame())  # sub-µs part truncates
+    path = tmp_path / "ts.pcap"
+    capture.write_pcap(str(path))
+    (ts_ns, _data, _orig), = read_pcap(str(path))
+    assert ts_ns == 1_000_000_000

@@ -1,0 +1,62 @@
+"""ThroughputMeter / IntervalSeries edge cases."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.stats import IntervalSeries, ThroughputMeter
+
+
+def _advance(sim, ns):
+    def waiter():
+        yield sim.timeout(ns)
+
+    sim.process(waiter())
+    sim.run()
+
+
+def test_meter_elapsed_never_zero():
+    # A meter read at its own start time must not divide by zero.
+    meter = ThroughputMeter(Simulator())
+    assert meter.elapsed_ns == 1
+    assert meter.ops_per_sec == 0
+    assert meter.bits_per_sec == 0
+
+
+def test_meter_reset_restarts_window():
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+    _advance(sim, 500)
+    meter.record(100)
+    meter.reset()
+    assert meter.started_at == 500
+    assert meter.events == 0
+    assert meter.bytes == 0
+    _advance(sim, 250)
+    meter.record(125)
+    assert meter.elapsed_ns == 250
+    assert meter.ops_per_sec == pytest.approx(1e9 / 250)
+    assert meter.bits_per_sec == pytest.approx(125 * 8 * 1e9 / 250)
+
+
+def test_meter_rejects_unknown_attributes():
+    # __slots__ guard: typos must fail loudly, not create dict entries.
+    meter = ThroughputMeter(Simulator())
+    with pytest.raises(AttributeError):
+        meter.eventz = 1
+
+
+def test_empty_series_is_safe():
+    series = IntervalSeries()
+    assert len(series) == 0
+    assert series.percentile(50) == 0
+    assert series.median == 0
+    assert series.mean == 0
+
+
+def test_series_percentile_clamps_to_range():
+    series = IntervalSeries()
+    for value in [10, 20, 30]:
+        series.add(value)
+    assert series.percentile(0) == 10
+    assert series.percentile(100) == 30
+    assert series.mean == 20
