@@ -52,6 +52,10 @@ MAP_VALUE_OR_NULL = "map_value_or_null"  # lookup result before the null check
 
 _POINTER_KINDS = frozenset((CTX_PTR, PKT_PTR, STACK_PTR, MAP_VALUE))
 
+_ALL_KINDS = frozenset(
+    (UNINIT, SCALAR, CTX_PTR, PKT_PTR, PKT_END, STACK_PTR, MAP_VALUE, MAP_VALUE_OR_NULL)
+)
+
 
 def _ceil_mask(x):
     """Smallest all-ones value >= x (0 for 0)."""
@@ -102,6 +106,18 @@ class Interval:
     def intersect(self, other):
         lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
         return Interval(lo, hi) if lo <= hi else None
+
+    def entails(self, other):
+        """True when this range is contained in ``other`` (self => other)."""
+        return other.lo <= self.lo and self.hi <= other.hi
+
+    def to_jsonable(self):
+        return [self.lo, self.hi]
+
+    @classmethod
+    def from_jsonable(cls, data):
+        lo, hi = data
+        return cls(int(lo), int(hi))
 
     # -- wrapping unsigned 64-bit arithmetic -------------------------------
     # Each op returns a sound over-approximation of the concrete result
@@ -228,6 +244,21 @@ class Tnum:
         mask = self.mask & other.mask
         return Tnum((self.value | other.value) & ~mask & U64, mask)
 
+    def entails(self, other):
+        """True when every value this tnum admits, ``other`` admits too:
+        each bit ``other`` knows, we know as well, with the same value."""
+        if ~other.mask & self.mask & U64:
+            return False  # other claims a bit we leave unknown
+        return (self.value ^ other.value) & ~other.mask & U64 == 0
+
+    def to_jsonable(self):
+        return [self.value, self.mask]
+
+    @classmethod
+    def from_jsonable(cls, data):
+        value, mask = data
+        return cls(int(value), int(mask))
+
     # -- transfer (the kernel tnum_* algebra, masked to 64 bits) -----------
 
     def add(self, other):
@@ -346,6 +377,19 @@ class ScalarVal:
 
     def widen(self, other):
         return ScalarVal.make(self.interval.widen(other.interval), self.tnum.join(other.tnum))
+
+    def entails(self, other):
+        """self => other: every admitted value of self is admitted by other."""
+        return self.interval.entails(other.interval) and self.tnum.entails(other.tnum)
+
+    def to_jsonable(self):
+        return {"i": self.interval.to_jsonable(), "t": self.tnum.to_jsonable()}
+
+    @classmethod
+    def from_jsonable(cls, data):
+        # Deliberately not ``make``: the certificate must round-trip
+        # exactly; reduction happened when the value was first built.
+        return cls(Interval.from_jsonable(data["i"]), Tnum.from_jsonable(data["t"]))
 
     # -- transfer ----------------------------------------------------------
 
@@ -530,6 +574,67 @@ class RegVal:
         """Join with interval endpoints jumped to thresholds."""
         return self._combine(other, lambda a, b: a.widen(b))
 
+    def entails(self, other):
+        """self => other: ``other`` is a weaker-or-equal description.
+
+        ``UNINIT`` is the weakest claim (no fact at all), so anything
+        entails it; conversely an uninit value entails only uninit.
+        Pointer claims are exact on kind/offset/vid (the facts bounds
+        checks consume) and interval-ordered on the variable part.
+        """
+        if other.kind == UNINIT:
+            return True
+        if self.kind != other.kind:
+            # A known-non-null map value is a strengthening of the
+            # maybe-null lookup result.
+            if not (self.kind == MAP_VALUE and other.kind == MAP_VALUE_OR_NULL):
+                return False
+        if self.kind == SCALAR:
+            return self.val.entails(other.val)
+        if other.fd is not None and self.fd != other.fd:
+            return False
+        if other.off is None:
+            return True  # "somewhere in the region": weakest pointer claim
+        if self.off != other.off:
+            return False
+        if other.var is None:
+            return self.var is None
+        if self.var is None or self.vid != other.vid:
+            return False
+        return self.var.entails(other.var)
+
+    def to_jsonable(self):
+        if self.kind == UNINIT:
+            return {"k": UNINIT}
+        if self.kind == SCALAR:
+            return {"k": SCALAR, "v": self.val.to_jsonable()}
+        data = {"k": self.kind, "off": self.off}
+        if self.fd is not None:
+            data["fd"] = self.fd
+        if self.var is not None:
+            data["vid"] = self.vid
+            data["var"] = self.var.to_jsonable()
+        return data
+
+    @classmethod
+    def from_jsonable(cls, data):
+        kind = data["k"]
+        if kind not in _ALL_KINDS:
+            raise ValueError("unknown register kind {!r}".format(kind))
+        if kind == UNINIT:
+            return cls.uninit()
+        if kind == SCALAR:
+            return cls.scalar_val(ScalarVal.from_jsonable(data["v"]))
+        off = data.get("off")
+        var = data.get("var")
+        return cls(
+            kind,
+            off=None if off is None else int(off),
+            fd=data.get("fd"),
+            vid=data.get("vid"),
+            var=None if var is None else ScalarVal.from_jsonable(var),
+        )
+
     def __eq__(self, other):
         return (
             isinstance(other, RegVal)
@@ -598,6 +703,49 @@ class AbsState:
 
     def widen(self, other):
         return self._combine(other, lambda a, b: a.widen(b))
+
+    def entails(self, other):
+        """self => other: every concrete state self admits, other admits.
+
+        The certificate checker's ordering test: a transfer output
+        entails the certified invariant at its successor exactly when
+        the invariant is a sound (weaker-or-equal) description of every
+        state flowing along that edge.
+        """
+        for mine, claimed in zip(self.regs, other.regs):
+            if not mine.entails(claimed):
+                return False
+        # Claimed-initialized stack bytes must be initialized here too.
+        if other.stack_init & ~self.stack_init:
+            return False
+        if other.pkt_valid > self.pkt_valid:
+            return False
+        for vid, claimed in other.pkt_checked.items():
+            mine = self.pkt_checked.get(vid)
+            if mine is None or mine < claimed:
+                return False
+        return True
+
+    def to_jsonable(self):
+        return {
+            "regs": [reg.to_jsonable() for reg in self.regs],
+            # stack_init is a 512-bit bitmap; hex keeps the JSON compact.
+            "stack_init": "{:x}".format(self.stack_init),
+            "pkt_valid": self.pkt_valid,
+            "pkt_checked": {str(vid): n for vid, n in self.pkt_checked.items()},
+        }
+
+    @classmethod
+    def from_jsonable(cls, data):
+        regs = [RegVal.from_jsonable(reg) for reg in data["regs"]]
+        if len(regs) != 11:
+            raise ValueError("state must describe 11 registers")
+        return cls(
+            regs,
+            stack_init=int(data.get("stack_init", "0"), 16),
+            pkt_valid=int(data.get("pkt_valid", 0)),
+            pkt_checked={int(vid): int(n) for vid, n in data.get("pkt_checked", {}).items()},
+        )
 
     def __eq__(self, other):
         return (

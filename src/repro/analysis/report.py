@@ -19,6 +19,7 @@ PASS_XDP = "xdp-verifier"
 PASS_STAGE = "stage-race"
 PASS_SIM = "sim-process"
 PASS_ATOMIC = "atomicity"
+PASS_DEADCODE = "xdp-deadcode"
 
 REPORT_VERSION = 2
 
@@ -71,8 +72,12 @@ def render_text(findings):
     return "\n".join(lines)
 
 
-def render_json(findings, checked=None):
-    """Machine-readable report. ``checked`` maps pass name -> unit count."""
+def render_json(findings, checked=None, certificates=None):
+    """Machine-readable report. ``checked`` maps pass name -> unit count.
+
+    ``certificates`` (``--certify``) embeds each builtin program's
+    proof-carrying compilation certificate under its name.
+    """
     by_pass = {}
     for finding in findings:
         by_pass[finding.pass_name] = by_pass.get(finding.pass_name, 0) + 1
@@ -81,7 +86,30 @@ def render_json(findings, checked=None):
         "findings": [finding.to_dict() for finding in findings],
         "summary": {"total": len(findings), "by_pass": by_pass, "checked": dict(checked or {})},
     }
+    if certificates is not None:
+        document["certificates"] = certificates
     return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_github(findings):
+    """GitHub Actions workflow commands: one ``::warning`` per finding,
+    so lint results surface inline on pull requests."""
+    lines = []
+    for finding in findings:
+        via = " [via {}]".format(" -> ".join(finding.via)) if finding.via else ""
+        # The message segment must keep newlines/percent escaped per the
+        # workflow-command syntax; our messages are single-line already.
+        lines.append(
+            "::warning file={},line={},title={}::{}{} ({})".format(
+                finding.path, finding.line, finding.pass_name, finding.message, via, finding.code
+            )
+        )
+    lines.append(
+        "repro lint: {} finding{}".format(len(findings), "" if len(findings) == 1 else "s")
+        if findings
+        else "repro lint: clean (0 findings)"
+    )
+    return "\n".join(lines)
 
 
 def _baseline_key(pass_name, path, code, message):

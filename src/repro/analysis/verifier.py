@@ -99,18 +99,41 @@ def verify(program, maps=None):
     return True
 
 
+def verify_states(program, maps=None):
+    """Verify and return the per-instruction entry-state fixpoint.
+
+    The returned list is the verifier's invariant: ``states[i]`` is a
+    sound description of every concrete machine state that can reach
+    instruction ``i``. :mod:`repro.analysis.certificate` exports it as
+    the proof-carrying compilation certificate.
+    """
+    checker = _Verifier(program, maps)
+    checker.run()
+    return checker.in_states
+
+
+def transfer_step(program, index, state, maps=None):
+    """Apply one instruction's abstract transfer to ``state``.
+
+    The certificate checker's single-step interface: no worklist, no
+    widening, no merge policy — just ``program[index]`` against the
+    given state. Returns ``[(successor index, out state), ...]``;
+    raises :class:`VerifierError` when the state cannot justify the
+    instruction (the claimed invariant is too weak for its accesses).
+    Deterministic: variable-part ids are derived from the instruction
+    index, so re-running a step always reproduces the same facts.
+    """
+    return _Verifier(program, maps).transfer(index, state)
+
+
 class _Verifier:
     def __init__(self, program, maps):
         self.program = program
         self.maps = maps
-        self._next_vid = 0
+        self.in_states = None
 
     def err(self, index, message):
         raise VerifierError("insn {}: {}".format(index, message))
-
-    def fresh_vid(self):
-        self._next_vid += 1
-        return self._next_vid
 
     # -- driver ------------------------------------------------------------
 
@@ -121,8 +144,8 @@ class _Verifier:
         if len(program) > MAX_PROGRAM_LEN:
             raise VerifierError("program too long ({} insns)".format(len(program)))
         self.structural_checks()
-        in_states = self.dataflow()
-        for index, state in enumerate(in_states):
+        self.in_states = self.dataflow()
+        for index, state in enumerate(self.in_states):
             if state is None:
                 self.err(index, "unreachable code")
 
@@ -266,10 +289,10 @@ class _Verifier:
             return
         src = state.regs[insn.src] if mode == "reg" else RegVal.scalar(insn.imm & U64)
         if not alu32 and op in ("add", "sub") and dst.is_pointer and src.kind == SCALAR:
-            state.regs[insn.dst] = self.pointer_math(op, dst, src)
+            state.regs[insn.dst] = self.pointer_math(op, dst, src, index)
             return
         if not alu32 and op == "add" and src.is_pointer and dst.kind == SCALAR:
-            state.regs[insn.dst] = self.pointer_math(op, src, dst)
+            state.regs[insn.dst] = self.pointer_math(op, src, dst, index)
             return
         if dst.kind == SCALAR and src.kind == SCALAR:
             state.regs[insn.dst] = RegVal.scalar_val(_scalar_alu(op, dst.val, src.val, alu32))
@@ -278,10 +301,17 @@ class _Verifier:
         # unknown scalar (provenance destroyed).
         state.regs[insn.dst] = RegVal.scalar()
 
-    def pointer_math(self, op, pointer, scalar):
+    def pointer_math(self, op, pointer, scalar, index):
         """``pointer ± scalar``: constant deltas adjust the offset; a
         bounded unknown folds into a packet pointer's variable part
-        under a fresh id (any prior bounds proof no longer applies)."""
+        under a fresh id (any prior bounds proof no longer applies).
+
+        The fresh id is the folding instruction's index: programs are
+        DAGs, so one instruction produces at most one variable part per
+        packet and the id is both unique and deterministic — which is
+        what lets the certificate checker re-run a single transfer step
+        and land on the same ids the exported fixpoint used.
+        """
         delta = scalar.const
         if delta is not None:
             if pointer.off is None:
@@ -297,7 +327,7 @@ class _Verifier:
         ):
             var = scalar.val if pointer.var is None else pointer.var.add(scalar.val)
             if var.hi <= 4 * PKT_VAR_BOUND:
-                return RegVal(PKT_PTR, off=pointer.off, vid=self.fresh_vid(), var=var)
+                return RegVal(PKT_PTR, off=pointer.off, vid=index, var=var)
         return RegVal(pointer.kind, off=None, fd=pointer.fd)
 
     # -- memory ------------------------------------------------------------

@@ -12,6 +12,11 @@ Examples::
 more than ``--threshold`` (default 15 %) below the baseline report.
 Behaviour drift (different deterministic event counts) is printed as a
 warning only; the golden-digest test suite is the hard gate for that.
+
+Every run also appends one compact record — keyed by the checkout's git
+SHA — to ``BENCH_history.jsonl`` (``--history``/``--no-history``), so
+the performance trajectory across commits accumulates in one
+append-only file.
 """
 
 import argparse
@@ -19,6 +24,7 @@ import sys
 
 from repro.bench.runner import (
     DEFAULT_THRESHOLD,
+    append_history,
     compare_reports,
     load_report,
     run_matrix,
@@ -27,6 +33,7 @@ from repro.bench.runner import (
 from repro.bench.scenarios import SCENARIOS
 
 DEFAULT_OUT = "BENCH_flextoe.json"
+DEFAULT_HISTORY = "BENCH_history.jsonl"
 
 
 def build_parser():
@@ -46,6 +53,13 @@ def build_parser():
         "--out", default=DEFAULT_OUT, metavar="PATH", help="report path (default: %(default)s)"
     )
     parser.add_argument("--no-out", action="store_true", help="do not write a report file")
+    parser.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY,
+        metavar="JSONL",
+        help="append a per-run record keyed by git SHA (default: %(default)s)",
+    )
+    parser.add_argument("--no-history", action="store_true", help="do not append to the history file")
     parser.add_argument(
         "--compare", metavar="BASELINE", help="fail on calibrated regression vs this report"
     )
@@ -81,6 +95,9 @@ def main(argv=None):
     if not args.no_out:
         write_report(report, args.out)
         print("wrote %s" % args.out)
+    if not args.no_history:
+        record = append_history(report, args.history)
+        print("history: appended %s @ %s" % (args.history, (record["sha"] or "no-git")[:12]))
 
     if args.compare:
         baseline = load_report(args.compare)

@@ -43,6 +43,9 @@ from repro.bench.scenarios import QUICK_MATRIX, SCENARIOS, run_scenario
 
 SCHEMA = "repro-bench/1"
 
+#: One JSON object per line in ``BENCH_history.jsonl``.
+HISTORY_SCHEMA = "repro-bench-history/1"
+
 #: Regression threshold for --compare (fraction of baseline).
 DEFAULT_THRESHOLD = 0.15
 
@@ -165,6 +168,73 @@ def write_report(report, path):
     with open(path, "w") as out:
         json.dump(report, out, indent=2, sort_keys=False)
         out.write("\n")
+
+
+def git_sha():
+    """HEAD commit of the working tree, or None outside a checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def history_record(report, sha=None, timestamp=None):
+    """One append-only history line: the report's performance trajectory
+    keyed by git SHA, compact enough to accumulate for years.
+
+    Keeps the calibration figure and each scenario's deterministic
+    event count plus measured rate; drops platform strings and checks
+    (the full report has those).
+    """
+    return {
+        "schema": HISTORY_SCHEMA,
+        "sha": git_sha() if sha is None else sha,
+        "timestamp": time.time() if timestamp is None else timestamp,  # sim-lint: allow (bench metadata)
+        "quick": bool(report.get("quick")),
+        "python": report.get("python"),
+        "calibration_ops_per_sec": report.get("calibration_ops_per_sec"),
+        "scenarios": {
+            name: {
+                "events": entry.get("events"),
+                "wall_s": entry.get("wall_s"),
+                "events_per_sec": entry.get("events_per_sec"),
+            }
+            for name, entry in report.get("scenarios", {}).items()
+        },
+    }
+
+
+def append_history(report, path, sha=None, timestamp=None):
+    """Append one :func:`history_record` line to ``path`` (JSONL)."""
+    record = history_record(report, sha=sha, timestamp=timestamp)
+    with open(path, "a") as out:
+        json.dump(record, out, sort_keys=True)
+        out.write("\n")
+    return record
+
+
+def load_history(path):
+    """Parse a JSONL history file; skips blank lines."""
+    records = []
+    with open(path) as source:
+        for line in source:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if not str(record.get("schema", "")).startswith("repro-bench-history/"):
+                raise ValueError("{}: not a bench history file".format(path))
+            records.append(record)
+    return records
 
 
 def load_report(path):

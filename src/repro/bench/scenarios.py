@@ -19,13 +19,23 @@ from repro.apps import EchoServer, MemcachedServer, MemtierClient
 from repro.apps.rpc import ClosedLoopClient
 from repro.faults.invariants import assert_exact_delivery, run_until
 from repro.faults.plans import make_plan
+from repro.flextoe.module import ModuleChain
 from repro.harness import Testbed
+from repro.xdp import XdpAdapter
+from repro.xdp.builtins.firewall import BLACKLIST_FD, block_ip, firewall_asm_program
 
 #: Scenario registry: name -> (builder, description).
 SCENARIOS = {}
 
 #: The subset the CI quick gate runs (all of them, at quick sizes).
-QUICK_MATRIX = ("echo-rpc-16pair", "memcached-64conn", "loss-recovery", "fault-soak")
+QUICK_MATRIX = (
+    "echo-rpc-16pair",
+    "memcached-64conn",
+    "loss-recovery",
+    "fault-soak",
+    "xdp-filter-jit",
+    "xdp-filter-interp",
+)
 
 
 def scenario(name, description):
@@ -159,3 +169,80 @@ def loss_recovery(quick=False):
 @scenario("fault-soak", "longer stream under the dma-flake plan (retry-path soak)")
 def fault_soak(quick=False):
     return _fault_stream("dma-flake", seed=7, n_bytes=150_000 if quick else 300_000, label="bench:fault-soak")
+
+
+def _xdp_filter(quick, jit):
+    """The eBPF firewall on the ingress hot path, filter-bound.
+
+    A simulated line-rate pump drives batches of frames through the
+    real :class:`~repro.xdp.XdpAdapter` ingress chain — the same module
+    object and packing/re-parsing path the FlexTOE RX stage runs — with
+    a traffic mix hitting every program path: blacklisted source
+    (dropped after a hash hit), clean IPv4 (hash miss), and non-IP
+    (early EtherType exit). Wall time is dominated by eBPF execution,
+    so the two registrations — identical but for ``jit=`` — pin the
+    proof-carrying JIT's speedup over the :class:`~repro.xdp.BpfVm`
+    interpreter: the deterministic events/sim-time/checks are equal by
+    construction (the JIT preserves executed-instruction counts, hence
+    FPC cycle charges), and the paired ``events_per_sec`` values in one
+    report differ by exactly the filter speedup.
+    """
+    from repro.proto import FLAG_ACK, make_tcp_frame, str_to_ip
+    from repro.sim import Simulator
+
+    # Floors as in loss-recovery: enough packets that the 15% compare
+    # gate sits well outside scheduler-timing noise.
+    batches = 150 if quick else 600
+    batch_size = 50
+    program, maps = firewall_asm_program()
+    bad_ip = str_to_ip("10.0.0.66")
+    block_ip(maps[BLACKLIST_FD], bad_ip)
+    block_ip(maps[BLACKLIST_FD], str_to_ip("10.9.9.1"))  # decoy entry
+    adapter = XdpAdapter(program=program, maps=maps, jit=jit, name="bench-firewall")
+    chain = ModuleChain([adapter])
+
+    def frame(src_ip, ethertype_ip=True):
+        made = make_tcp_frame(0xA, 0xB, src_ip, str_to_ip("10.0.0.2"), 1000, 2000,
+                              flags=FLAG_ACK, payload=b"x" * 32)
+        if not ethertype_ip:
+            made.ip = None  # packs as a non-IP EtherType: early-exit path
+            made.tcp = None
+        return made
+
+    mix = [
+        frame(str_to_ip("10.0.0.1")),   # clean: full lookup, miss
+        frame(str_to_ip("10.0.0.3")),
+        frame(bad_ip),                  # blacklisted: lookup hit, drop
+        frame(str_to_ip("10.0.0.4")),
+        frame(str_to_ip("10.0.0.1"), ethertype_ip=False),  # non-IP
+    ]
+    actions = {}
+
+    def pump():
+        for _ in range(batches):
+            for i in range(batch_size):
+                action = chain.run(mix[i % len(mix)], None)
+                actions[action] = actions.get(action, 0) + 1
+            yield sim.timeout(1000)
+
+    sim = Simulator()
+    sim.process(pump(), name="xdp-pump")
+    sim.run()
+    if adapter.invocations != batches * batch_size:
+        raise AssertionError("xdp-filter pump incomplete: %d packets" % adapter.invocations)
+    return sim, {
+        "packets": adapter.invocations,
+        "results": dict(sorted(adapter.results.items())),
+        "actions": dict(sorted(actions.items())),
+        "jit": jit,
+    }
+
+
+@scenario("xdp-filter-jit", "eBPF firewall ingress pump, proof-carrying JIT")
+def xdp_filter_jit(quick=False):
+    return _xdp_filter(quick, jit=True)
+
+
+@scenario("xdp-filter-interp", "same firewall pump on the BpfVm interpreter (JIT oracle)")
+def xdp_filter_interp(quick=False):
+    return _xdp_filter(quick, jit=False)

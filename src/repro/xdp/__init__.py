@@ -12,12 +12,16 @@ into FlexTOE; here they run on a faithful register VM:
   back-edges, register initialization, valid helpers).
 * :mod:`repro.xdp.adapter` — runs native-Python or VM programs as
   FlexTOE pipeline modules with per-instruction cycle accounting.
+* :mod:`repro.xdp.jit` — proof-carrying check-eliding compiler: a
+  certificate-validated program becomes one specialized Python closure
+  where proven accesses skip their run-time guards.
 * :mod:`repro.xdp.builtins` — the paper's example modules: connection
   splicing (Listing 1), firewall, VLAN strip, flow classifier, null.
 """
 
-from repro.xdp.adapter import PyXdpProgram, XdpAdapter
+from repro.xdp.adapter import PyXdpProgram, XdpAdapter, jit_enabled_default
 from repro.xdp.asm import assemble
+from repro.xdp.jit import JitProgram, compile_program
 from repro.xdp.maps import BpfArrayMap, BpfHashMap, BpfLruHashMap
 from repro.xdp.program import XDP_DROP, XDP_PASS, XDP_REDIRECT, XDP_TX
 from repro.xdp.verifier import VerifierError, verify
@@ -28,6 +32,7 @@ __all__ = [
     "BpfHashMap",
     "BpfLruHashMap",
     "BpfVm",
+    "JitProgram",
     "PyXdpProgram",
     "VerifierError",
     "VmFault",
@@ -37,5 +42,7 @@ __all__ = [
     "XDP_TX",
     "XdpAdapter",
     "assemble",
+    "compile_program",
+    "jit_enabled_default",
     "verify",
 ]

@@ -12,12 +12,25 @@ Two program flavors share :class:`XdpAdapter`:
 FlexTOE handles sequencing/reordering around replicated XDP stages
 (§3.2/§3.3); the adapter plugs into the same hook machinery as native
 modules, so that applies automatically.
+
+VM programs are compiled by the proof-carrying JIT
+(:mod:`repro.xdp.jit`) by default: the verifier's certificate lets
+proven-in-bounds accesses run guard-free. Set ``REPRO_XDP_JIT=0`` (or
+pass ``jit=False``) to fall back to the :class:`BpfVm` interpreter,
+which is retained as the differential oracle.
 """
+
+import os
 
 from repro.flextoe.module import ACTION_DROP, ACTION_PASS, ACTION_REDIRECT, ACTION_TX, DatapathModule
 from repro.proto.packet import Frame
 from repro.xdp.program import XDP_DROP, XDP_PASS, XDP_REDIRECT, XDP_TX
 from repro.xdp.verifier import verify
+
+
+def jit_enabled_default():
+    """JIT on unless ``REPRO_XDP_JIT`` disables it."""
+    return os.environ.get("REPRO_XDP_JIT", "1").strip().lower() not in ("0", "false", "off")
 
 _RESULT_TO_ACTION = {
     XDP_PASS: ACTION_PASS,
@@ -48,16 +61,26 @@ class PyXdpProgram:
 class XdpAdapter(DatapathModule):
     """Wraps a VM or Python XDP program as a data-path module."""
 
-    def __init__(self, program=None, maps=None, py_program=None, name=None):
+    def __init__(self, program=None, maps=None, py_program=None, name=None, jit=None):
         if (program is None) == (py_program is None):
             raise ValueError("provide exactly one of program/py_program")
         self.py_program = py_program
         self.vm = None
+        self.jit_enabled = False
         if program is not None:
-            verify(program, maps)
-            from repro.xdp.vm import BpfVm
+            use_jit = jit_enabled_default() if jit is None else jit
+            if use_jit:
+                # compile_program verifies via the certificate pipeline:
+                # export, independent re-check, then code generation.
+                from repro.xdp.jit import compile_program
 
-            self.vm = BpfVm(program, maps)
+                self.vm = compile_program(program, maps)
+                self.jit_enabled = True
+            else:
+                verify(program, maps)
+                from repro.xdp.vm import BpfVm
+
+                self.vm = BpfVm(program, maps)
         self.name = name or (py_program.name if py_program else "xdp-vm")
         self.invocations = 0
         self.results = {XDP_PASS: 0, XDP_DROP: 0, XDP_TX: 0, XDP_REDIRECT: 0}

@@ -1,13 +1,29 @@
 """Builtin XDP modules from the paper: splicing, firewall, VLAN strip,
 flow classification, and the null program (Table 2)."""
 
-from repro.xdp.builtins.splice import SpliceEntry, SpliceProgram, splice_key
+from repro.xdp.builtins.splice import (
+    SpliceEntry,
+    SpliceProgram,
+    splice_asm_program,
+    splice_key,
+)
 from repro.xdp.builtins.firewall import FirewallProgram, firewall_asm_program
-from repro.xdp.builtins.vlan import VlanStripProgram
+from repro.xdp.builtins.vlan import VlanStripProgram, vlan_asm_program
 from repro.xdp.builtins.filter import FlowClassifierProgram, classifier_asm_program
 from repro.xdp.builtins.null import NullProgram, null_asm_program
 
+#: name -> zero-argument factory returning (program, maps); the lint
+#: CLI's --certify mode and the JIT test-suite sweep iterate this.
+ASM_BUILTINS = {
+    "null": null_asm_program,
+    "filter": classifier_asm_program,
+    "firewall": firewall_asm_program,
+    "vlan": vlan_asm_program,
+    "splice": splice_asm_program,
+}
+
 __all__ = [
+    "ASM_BUILTINS",
     "FirewallProgram",
     "FlowClassifierProgram",
     "NullProgram",
@@ -17,5 +33,7 @@ __all__ = [
     "classifier_asm_program",
     "firewall_asm_program",
     "null_asm_program",
+    "splice_asm_program",
     "splice_key",
+    "vlan_asm_program",
 ]

@@ -12,6 +12,7 @@ import struct
 
 from repro.proto.tcp import FLAG_FIN, FLAG_RST, FLAG_SYN, seq_add
 from repro.xdp.adapter import PyXdpProgram
+from repro.xdp.asm import assemble
 from repro.xdp.maps import BpfHashMap
 from repro.xdp.program import XDP_PASS, XDP_REDIRECT, XDP_TX
 
@@ -110,3 +111,98 @@ class SpliceProgram(PyXdpProgram):
         frame.tcp.ack = seq_add(frame.tcp.ack, state.ack_delta)
         # FlexTOE handles sequencing and the checksum update (paper §3.3);
         # in the simulator checksums are recomputed at serialization.
+
+
+SPLICE_FD = 3
+
+#: Listing 1 as eBPF assembly. Wire layout without VLAN: Ethernet
+#: 0-13, IPv4 14-33 (src 26, dst 30), TCP from 34 (sport 34, dport 36,
+#: seq 38, ack 42, flags byte 47). The 4-tuple key ("!IIHH") is exactly
+#: the contiguous wire bytes [26, 38), so building it is three aligned
+#: word copies; same-size load/store pairs are endian-neutral. The
+#: packet pointer lives in r6 because the verifier models helper calls
+#: as clobbering r1-r5.
+SPLICE_ASM = """
+    ldxdw r2, [r1+0]        ; data
+    ldxdw r3, [r1+8]        ; data_end
+    mov r6, r2              ; packet pointer, survives helper calls
+    mov r4, r6
+    add r4, 48              ; Ethernet + IPv4 + TCP incl. flags byte
+    jgt r4, r3, slow
+    ldxh r5, [r6+12]
+    jne r5, 0x0008, slow    ; not IPv4 (big-endian 0x0800)
+    ldxb r5, [r6+23]
+    jne r5, 6, slow         ; not TCP
+    ; key = (src_ip, dst_ip, sport, dport) in wire order
+    ldxw r5, [r6+26]
+    stxw [r10-12], r5
+    ldxw r5, [r6+30]
+    stxw [r10-8], r5
+    ldxw r5, [r6+34]
+    stxw [r10-4], r5
+    ; control-flagged segment (SYN|FIN|RST)?
+    ldxb r5, [r6+47]
+    and r5, 0x07
+    jne r5, 0, control
+    lddw r1, map:{fd}
+    mov r2, r10
+    sub r2, 12
+    call 1                  ; splice table lookup
+    jeq r0, 0, pass         ; not spliced: data plane handles it
+    ; patch headers: eth.src <- eth.dst, eth.dst <- entry MAC
+    ldxw r5, [r6+0]
+    stxw [r6+6], r5
+    ldxh r5, [r6+4]
+    stxh [r6+10], r5
+    ldxw r5, [r0+2]         ; MAC = low 6 bytes of the big-endian u64
+    stxw [r6+0], r5
+    ldxh r5, [r0+6]
+    stxh [r6+4], r5
+    ; ip.src <- ip.dst, ip.dst <- entry IP
+    ldxw r5, [r6+30]
+    stxw [r6+26], r5
+    ldxw r5, [r0+8]
+    stxw [r6+30], r5
+    ; ports
+    ldxh r5, [r0+12]
+    stxh [r6+34], r5
+    ldxh r5, [r0+14]
+    stxh [r6+36], r5
+    ; seq/ack translation, mod 2^32 (be32 is its own inverse)
+    ldxw r5, [r6+38]
+    be32 r5
+    ldxw r4, [r0+16]
+    be32 r4
+    add32 r5, r4
+    be32 r5
+    stxw [r6+38], r5
+    ldxw r5, [r6+42]
+    be32 r5
+    ldxw r4, [r0+20]
+    be32 r4
+    add32 r5, r4
+    be32 r5
+    stxw [r6+42], r5
+    mov r0, 2               ; XDP_TX: straight back out the MAC
+    exit
+control:
+    lddw r1, map:{fd}
+    mov r2, r10
+    sub r2, 12
+    call 3                  ; atomically remove the entry
+    jne r0, 0, pass         ; no entry: not ours
+    mov r0, 3               ; XDP_REDIRECT: hand to the control plane
+    exit
+slow:
+    mov r0, 3               ; XDP_REDIRECT: non-TCP to the control plane
+    exit
+pass:
+    mov r0, 1               ; XDP_PASS
+    exit
+""".format(fd=SPLICE_FD)
+
+
+def splice_asm_program(max_entries=4096):
+    """(program, maps) pair ready for :class:`repro.xdp.XdpAdapter`."""
+    table = BpfHashMap(KEY_FORMAT.size, VALUE_FORMAT.size, max_entries, name="splice_tbl")
+    return assemble(SPLICE_ASM), {SPLICE_FD: table}

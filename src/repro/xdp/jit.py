@@ -1,0 +1,393 @@
+"""A check-eliding JIT for verified XDP programs.
+
+:class:`BpfVm` re-validates every memory access per packet even though
+the verifier already proved them in bounds at load time. This module
+makes the static analysis pay for itself: a verified program is
+compiled — through a proof-carrying certificate — into one specialized
+Python closure where every *certified* access is a raw ``struct``
+pack/unpack with no bounds test, and only accesses the certificate
+could not discharge (map values of unknown size, possibly-zero
+divisors) keep their run-time guard.
+
+Trust base: :func:`repro.analysis.certificate.check_certificate`, not
+the verifier. :func:`compile_program` first re-validates the
+certificate with the deliberately small single-step checker and only
+then consumes its facts; a certificate that fails the checker never
+reaches code generation.
+
+Semantics are bit-identical to :class:`BpfVm` by construction:
+
+* same virtual address layout (ctx/packet/stack/map values), same
+  little-endian loads and stores, same masking discipline per ALU op;
+* retained guards go through the same :class:`_Memory` resolver and
+  raise the same :class:`VmFault` messages;
+* division by an unproven divisor checks the *unmasked 64-bit* value,
+  exactly like the interpreter (even for 32-bit division);
+* ``run`` returns the same ``(r0, instructions executed)`` pair with
+  the same count — the generated code charges each straight-line block
+  at entry, so the adapter's cycle accounting is unchanged.
+
+The instruction-budget check is elided wholesale: the certificate's
+structural pass proves the program is a DAG, so one packet executes at
+most ``len(program)`` (≤ 4096) instructions, far under the budget.
+
+Control flow: certified programs are forward-only DAGs, so the
+generated source lays blocks out in address order behind a skip
+variable ``_s`` — a taken branch sets ``_s`` to the target index and
+intervening blocks fall through without executing.
+"""
+
+import struct
+
+from repro.analysis.certificate import check_certificate, export_certificate
+from repro.analysis.dataflow import CTX_PTR, MAP_VALUE, PKT_PTR, STACK_PTR
+from repro.xdp.maps import BpfMapError
+from repro.xdp.vm import (
+    CTX_BASE,
+    HELPER_MAP_DELETE,
+    HELPER_MAP_LOOKUP,
+    HELPER_MAP_UPDATE,
+    MAP_VALUE_BASE,
+    MAP_VALUE_STRIDE,
+    MASK32,
+    MASK64,
+    PACKET_BASE,
+    STACK_SIZE,
+    STACK_TOP,
+    VmFault,
+    _Memory,
+)
+
+_SIZES = {"b": 1, "h": 2, "w": 4, "dw": 8}
+
+#: struct accessors per access size, shared by all generated closures.
+_STRUCTS = {1: struct.Struct("<B"), 2: struct.Struct("<H"), 4: struct.Struct("<I"), 8: struct.Struct("<Q")}
+
+_CTX_PACK = struct.Struct("<QQ").pack_into
+
+_REGION_BASE = {
+    CTX_PTR: CTX_BASE,
+    PKT_PTR: PACKET_BASE,
+    STACK_PTR: STACK_TOP - STACK_SIZE,
+}
+
+_REGION_BUF = {CTX_PTR: "_ctx", PKT_PTR: "_pkt", STACK_PTR: "_stk"}
+
+_UNSIGNED_JUMPS = {
+    "jeq": "==",
+    "jne": "!=",
+    "jgt": ">",
+    "jge": ">=",
+    "jlt": "<",
+    "jle": "<=",
+}
+
+_SIGNED_JUMPS = {"jsgt": ">", "jsge": ">=", "jslt": "<", "jsle": "<="}
+
+_SIMPLE_ALU = {"add": "+", "sub": "-", "mul": "*", "and": "&", "or": "|", "xor": "^"}
+
+
+def _sgn64(value):
+    return value - (1 << 64) if value >= 1 << 63 else value
+
+
+def _sgn32(value):
+    value &= MASK32
+    return value - (1 << 32) if value >= 1 << 31 else value
+
+
+def _bswap(value, nbytes):
+    # Same code path as the interpreter's be/le handling.
+    return int.from_bytes((value & ((1 << (8 * nbytes)) - 1)).to_bytes(nbytes, "little"), "big")
+
+
+def _call_helper(maps, helper_id, a1, a2, a3, memory, value_regions, value_buffers):
+    """The interpreter's helper dispatch, plus an address->buffer index
+    so certified map-value accesses can skip the region scan."""
+    if helper_id == HELPER_MAP_LOOKUP:
+        bpf_map = maps.get(a1)
+        if bpf_map is None:
+            raise VmFault("bad map fd {}".format(a1))
+        key = memory.read_bytes(a2, bpf_map.key_size)
+        value = bpf_map.lookup(key)
+        if value is None:
+            return 0
+        region_key = (a1, key)
+        address = value_regions.get(region_key)
+        if address is None:
+            address = MAP_VALUE_BASE + len(value_regions) * MAP_VALUE_STRIDE
+            memory.add_region(address, value)
+            value_regions[region_key] = address
+            value_buffers[address] = value
+        return address
+    if helper_id == HELPER_MAP_UPDATE:
+        bpf_map = maps.get(a1)
+        if bpf_map is None:
+            raise VmFault("bad map fd {}".format(a1))
+        key = memory.read_bytes(a2, bpf_map.key_size)
+        value = memory.read_bytes(a3, bpf_map.value_size)
+        try:
+            bpf_map.update(key, value)
+        except BpfMapError:
+            return (-1) & MASK64
+        return 0
+    if helper_id == HELPER_MAP_DELETE:
+        bpf_map = maps.get(a1)
+        if bpf_map is None:
+            raise VmFault("bad map fd {}".format(a1))
+        key = memory.read_bytes(a2, bpf_map.key_size)
+        return 0 if bpf_map.delete(key) else (-1) & MASK64
+    raise VmFault("unknown helper {}".format(helper_id))
+
+
+class JitError(Exception):
+    """The program cannot be compiled (certificate missing a fact)."""
+
+
+class _Codegen:
+    def __init__(self, program, facts, maps):
+        self.program = program
+        self.facts = facts
+        self.maps = maps
+        # Map-value addresses alias across regions if a value outgrows
+        # its stride; the interpreter's linear region scan would still
+        # resolve them, the aligned-base index would not — retain the
+        # guard in that (never-seen) configuration.
+        self.mv_elide_ok = all(
+            m.value_size <= MAP_VALUE_STRIDE for m in (maps or {}).values()
+        )
+        self.stats = {
+            "mem_elided": 0,
+            "mem_retained": 0,
+            "div_elided": 0,
+            "div_retained": 0,
+            "insns": len(program),
+        }
+
+    # -- expression helpers ------------------------------------------------
+
+    def _rhs(self, insn, mode, mask=MASK64):
+        return "r{}".format(insn.src) if mode == "reg" else repr(insn.imm & mask)
+
+    def _mem_stmts(self, index, insn, fact, value_expr=None):
+        """Statements for one load/store. ``value_expr`` None => load."""
+        size = fact["size"]
+        ptr = "r{}".format(fact["ptr"])
+        elide = fact["elide"] and (fact["region"] != MAP_VALUE or self.mv_elide_ok)
+        self.stats["mem_elided" if elide else "mem_retained"] += 1
+        if not elide:
+            addr = "({} + {}) & {}".format(ptr, insn.off, MASK64)
+            if value_expr is None:
+                return ["r{} = _mem.load({}, {})".format(insn.dst, addr, size)]
+            return ["_mem.store({}, {}, {})".format(addr, size, value_expr)]
+        if fact["region"] == MAP_VALUE:
+            lines = ["_a = {} + {}".format(ptr, insn.off)]
+            buf = "_vbufs[_a & {}]".format(-MAP_VALUE_STRIDE)
+            idx = "_a & {}".format(MAP_VALUE_STRIDE - 1)
+        else:
+            lines = []
+            buf = _REGION_BUF[fact["region"]]
+            idx = "{} + {}".format(ptr, insn.off - _REGION_BASE[fact["region"]])
+        if value_expr is None:
+            lines.append("r{} = _u{}({}, {})[0]".format(insn.dst, size, buf, idx))
+        else:
+            mask = (1 << (8 * size)) - 1
+            if value_expr.isdigit():
+                value_expr = repr(int(value_expr) & mask)
+            else:
+                value_expr = "{} & {}".format(value_expr, mask)
+            lines.append("_p{}({}, {}, {})".format(size, buf, idx, value_expr))
+        return lines
+
+    # -- per-instruction ---------------------------------------------------
+
+    def emit(self, index, insn):
+        """Python statements for ``program[index]`` (VM-dispatch order)."""
+        op = insn.op
+        fact = self.facts[index]
+        if op == "exit":
+            return ["return r0, _n"]
+        if op == "call":
+            return [
+                "r0 = _call(_maps, {}, r1, r2, r3, _mem, _vregs, _vbufs)".format(insn.imm)
+            ]
+        if op == "ja":
+            return ["_s = {}".format(index + 1 + insn.off)]
+        base, _, mode = op.partition(".")
+        target = index + 1 + insn.off
+        if base in _UNSIGNED_JUMPS:
+            return [
+                "if r{} {} {}: _s = {}".format(
+                    insn.dst, _UNSIGNED_JUMPS[base], self._rhs(insn, mode), target
+                )
+            ]
+        if base == "jset":
+            return ["if (r{} & {}) != 0: _s = {}".format(insn.dst, self._rhs(insn, mode), target)]
+        if base in _SIGNED_JUMPS:
+            rhs = (
+                "_sgn64(r{})".format(insn.src)
+                if mode == "reg"
+                else repr(_sgn64(insn.imm & MASK64))
+            )
+            return ["if _sgn64(r{}) {} {}: _s = {}".format(insn.dst, _SIGNED_JUMPS[base], rhs, target)]
+        if base in ("mov", "mov32"):
+            if mode == "reg":
+                src = "r{}".format(insn.src)
+                expr = "{} & {}".format(src, MASK32) if base == "mov32" else src
+            else:
+                expr = repr(insn.imm & (MASK32 if base == "mov32" else MASK64))
+            return ["r{} = {}".format(insn.dst, expr)]
+        if base == "lddw":
+            return ["r{} = {}".format(insn.dst, insn.imm & MASK64)]
+        alu32 = base.endswith("32")
+        alu_base = base[:-2] if alu32 else base
+        mask = MASK32 if alu32 else MASK64
+        dst = "r{}".format(insn.dst)
+        lhs = "({} & {})".format(dst, MASK32) if alu32 else dst
+        if alu_base in _SIMPLE_ALU:
+            rhs = self._rhs(insn, mode, mask)
+            if mode == "reg" and alu32:
+                rhs = "(r{} & {})".format(insn.src, MASK32)
+            return ["{} = ({} {} {}) & {}".format(dst, lhs, _SIMPLE_ALU[alu_base], rhs, mask)]
+        if alu_base in ("lsh", "rsh"):
+            # The interpreter masks the shift count to 6 bits for both
+            # widths (its lambda is shared); replicate, don't "fix".
+            shift = (
+                "(r{} & 63)".format(insn.src) if mode == "reg" else repr(insn.imm & MASK64 & 63)
+            )
+            sym = "<<" if alu_base == "lsh" else ">>"
+            return ["{} = ({} {} {}) & {}".format(dst, lhs, sym, shift, mask)]
+        if alu_base in ("div", "mod"):
+            rhs = self._rhs(insn, mode)  # unmasked 64-bit, like the VM
+            lines = []
+            if fact is not None and fact.get("nonzero"):
+                self.stats["div_elided"] += 1
+            else:
+                self.stats["div_retained"] += 1
+                lines.append("if {} == 0: raise VmFault('division by zero')".format(rhs))
+            sym = "//" if alu_base == "div" else "%"
+            lines.append("{} = ({} {} {}) & {}".format(dst, lhs, sym, rhs, mask))
+            return lines
+        if alu_base == "neg":
+            return ["{} = (-{}) & {}".format(dst, dst, mask)]
+        if alu_base == "arsh":
+            bits = 32 if alu32 else 64
+            shift = (
+                "(r{} & {})".format(insn.src, bits - 1)
+                if mode == "reg"
+                else repr(insn.imm & (bits - 1))
+            )
+            sgn = "_sgn32" if alu32 else "_sgn64"
+            return ["{} = ({}({}) >> {}) & {}".format(dst, sgn, dst, shift, mask)]
+        if base[:2] in ("be", "le") and base[2:].isdigit():
+            width = int(base[2:])
+            if base.startswith("le"):
+                return ["{} = {} & {}".format(dst, dst, (1 << width) - 1)]
+            return ["{} = _bswap({}, {})".format(dst, dst, width // 8)]
+        if base.startswith("ldx"):
+            return self._mem_stmts(index, insn, fact)
+        if base.startswith("stx"):
+            return self._mem_stmts(index, insn, fact, value_expr="r{}".format(insn.src))
+        if base.startswith("st"):
+            return self._mem_stmts(index, insn, fact, value_expr=repr(insn.imm))
+        # The verifier admits unknown ALU mnemonics as opaque scalars;
+        # the interpreter faults when one executes. So do we.
+        return ["raise VmFault({!r})".format("unknown instruction {!r}".format(op))]
+
+    # -- whole program -----------------------------------------------------
+
+    def block_starts(self):
+        starts = {0}
+        n = len(self.program)
+        for index, insn in enumerate(self.program):
+            base = insn.op.partition(".")[0]
+            if base == "exit" or base.startswith("j"):
+                if base != "exit":
+                    starts.add(index + 1 + insn.off)
+                if index + 1 < n:
+                    starts.add(index + 1)
+        return sorted(start for start in starts if 0 <= start < n)
+
+    def generate(self):
+        lines = [
+            "def _jit_run(_pkt):",
+            "    _mem = _Memory()",
+            "    _stk = bytearray({})".format(STACK_SIZE),
+            "    _ctx = bytearray(16)",
+            "    _ctxpack(_ctx, 0, {}, {} + len(_pkt))".format(PACKET_BASE, PACKET_BASE),
+            "    _mem.add_region({}, _ctx)".format(CTX_BASE),
+            "    _mem.add_region({}, _pkt)".format(PACKET_BASE),
+            "    _mem.add_region({}, _stk)".format(STACK_TOP - STACK_SIZE),
+            "    _vregs = {}",
+            "    _vbufs = {}",
+            "    r0 = r2 = r3 = r4 = r5 = r6 = r7 = r8 = r9 = 0",
+            "    r1 = {}".format(CTX_BASE),
+            "    r10 = {}".format(STACK_TOP),
+            "    _n = 0",
+            "    _s = -1",
+        ]
+        starts = self.block_starts()
+        for which, start in enumerate(starts):
+            end = starts[which + 1] if which + 1 < len(starts) else len(self.program)
+            lines.append("    if _s < 0 or _s == {}:".format(start))
+            lines.append("        _s = -1")
+            lines.append("        _n += {}".format(end - start))
+            for index in range(start, end):
+                for stmt in self.emit(index, self.program[index]):
+                    lines.append("        " + stmt)
+        # Unreachable for certified programs: every path returns at exit.
+        lines.append("    raise VmFault('program counter out of range: {}'.format(_s))")
+        return "\n".join(lines) + "\n"
+
+
+class JitProgram:
+    """A compiled XDP program with the :class:`BpfVm` run interface."""
+
+    def __init__(self, program, maps, cert, fn, source, stats):
+        self.program = program
+        self.maps = maps
+        self.cert = cert
+        self.source = source
+        self.stats = stats
+        self._fn = fn
+        self.total_instructions = 0
+        self.runs = 0
+
+    def run(self, packet):
+        """Execute over ``packet`` (bytearray, modified in place).
+
+        Returns (r0 result, instructions executed)."""
+        result, executed = self._fn(packet)
+        self.total_instructions += executed
+        self.runs += 1
+        return result, executed
+
+
+def compile_program(program, maps=None, cert=None):
+    """Compile a verified program into a specialized closure.
+
+    When ``cert`` is None the verifier runs and exports one; either
+    way the certificate is re-validated by the independent checker
+    before any fact reaches code generation.
+    """
+    if cert is None:
+        cert = export_certificate(program, maps)
+    check_certificate(program, cert, maps)
+    maps_dict = dict(maps or {})
+    codegen = _Codegen(program, cert.facts, maps_dict)
+    source = codegen.generate()
+    namespace = {
+        "_Memory": _Memory,
+        "_ctxpack": _CTX_PACK,
+        "_call": _call_helper,
+        "_maps": maps_dict,
+        "_sgn32": _sgn32,
+        "_sgn64": _sgn64,
+        "_bswap": _bswap,
+        "VmFault": VmFault,
+    }
+    for size, accessor in _STRUCTS.items():
+        namespace["_u{}".format(size)] = accessor.unpack_from
+        namespace["_p{}".format(size)] = accessor.pack_into
+    exec(compile(source, "<xdp-jit>", "exec"), namespace)
+    return JitProgram(program, maps_dict, cert, namespace["_jit_run"], source, codegen.stats)

@@ -1,0 +1,136 @@
+"""Proof-carrying compilation certificates: export, check, tampering.
+
+The trust story under test: :func:`check_certificate` must accept every
+honestly exported certificate and reject *any* mutation — of the
+abstract states, the per-instruction facts (elision decisions), or the
+program digest — because the JIT elides run-time guards purely on the
+checker's say-so.
+"""
+
+import copy
+
+import pytest
+
+from repro.analysis.certificate import (
+    CertificateError,
+    ProofTable,
+    check_certificate,
+    export_certificate,
+    program_digest,
+)
+from repro.xdp.asm import assemble
+from repro.xdp.builtins import ASM_BUILTINS
+
+
+def _all_builtins():
+    return [(name, factory()) for name, factory in sorted(ASM_BUILTINS.items())]
+
+
+def test_every_builtin_exports_and_checks():
+    for name, (program, maps) in _all_builtins():
+        cert = export_certificate(program, maps)
+        check_certificate(program, cert, maps)  # must not raise
+        stats = cert.elision_stats()
+        assert stats["insns"] == len(program)
+        total = stats["mem_elided"] + stats["mem_retained"]
+        if total:
+            # Acceptance floor: ≥80 % of memory guards proven away.
+            assert stats["mem_elided"] / total >= 0.8, (name, stats)
+
+
+def test_certificate_round_trips_through_json():
+    for name, (program, maps) in _all_builtins():
+        cert = export_certificate(program, maps)
+        clone = ProofTable.from_jsonable(cert.to_jsonable())
+        assert clone.digest == cert.digest
+        assert clone.facts == cert.facts
+        check_certificate(program, clone, maps)
+
+
+def test_digest_binds_certificate_to_program():
+    program, maps = ASM_BUILTINS["firewall"]()
+    other, other_maps = ASM_BUILTINS["filter"]()
+    cert = export_certificate(program, maps)
+    with pytest.raises(CertificateError):
+        check_certificate(other, cert, other_maps)
+
+
+def test_single_instruction_state_mutation_rejected():
+    """Weakening any one instruction's certified packet bound must be
+    caught — that bound is exactly what licenses guard elision."""
+    program, maps = ASM_BUILTINS["firewall"]()
+    cert = export_certificate(program, maps)
+    rejected = 0
+    for index in range(len(program)):
+        doc = copy.deepcopy(cert.to_jsonable())
+        doc["states"][index]["pkt_valid"] = (doc["states"][index]["pkt_valid"] or 0) + 1000
+        tampered = ProofTable.from_jsonable(doc)
+        try:
+            check_certificate(program, tampered, maps)
+        except CertificateError:
+            rejected += 1
+    assert rejected == len(program)
+
+
+def test_fact_tampering_rejected():
+    """Flipping a retained guard to 'elide' without a proof is the
+    attack the checker exists to stop."""
+    program, maps = ASM_BUILTINS["splice"]()
+    cert = export_certificate(program, maps)
+    for index, fact in enumerate(cert.facts):
+        if not isinstance(fact, dict) or fact.get("type") != "mem":
+            continue
+        doc = copy.deepcopy(cert.to_jsonable())
+        doc["facts"][index]["elide"] = not doc["facts"][index]["elide"]
+        tampered = ProofTable.from_jsonable(doc)
+        with pytest.raises(CertificateError):
+            check_certificate(program, tampered, maps)
+
+
+def test_division_guard_requires_nonzero_proof():
+    # r2's range includes zero -> guard retained; r3 proven nonzero ->
+    # guard elided.
+    program = assemble(
+        """
+        ldxdw r2, [r1+0]
+        mov r2, 5
+        jle r2, 9, next
+        mov r2, 0
+    next:
+        mov r3, 7
+        mov r0, 100
+        div r0, r2
+        div r0, r3
+        exit
+    """
+    )
+    cert = export_certificate(program, {})
+    check_certificate(program, cert, {})
+    div_facts = [f for f in cert.facts if isinstance(f, dict) and f.get("type") == "div"]
+    assert [f["nonzero"] for f in div_facts] == [False, True]
+
+    # Claiming the guarded division is safe must be rejected.
+    doc = copy.deepcopy(cert.to_jsonable())
+    for entry in doc["facts"]:
+        if isinstance(entry, dict) and entry.get("type") == "div" and not entry["nonzero"]:
+            entry["nonzero"] = True
+    with pytest.raises(CertificateError):
+        check_certificate(program, ProofTable.from_jsonable(doc), {})
+
+
+def test_truncated_and_padded_certificates_rejected():
+    program, maps = ASM_BUILTINS["vlan"]()
+    cert = export_certificate(program, maps)
+    short = ProofTable(cert.digest, cert.states[:-1], cert.facts[:-1])
+    with pytest.raises(CertificateError):
+        check_certificate(program, short, maps)
+    padded = ProofTable(cert.digest, cert.states + [cert.states[-1]], cert.facts + [cert.facts[-1]])
+    with pytest.raises(CertificateError):
+        check_certificate(program, padded, maps)
+
+
+def test_program_digest_is_stable_and_sensitive():
+    program, _ = ASM_BUILTINS["null"]()
+    assert program_digest(program) == program_digest(program)
+    other = assemble("mov r0, 2\nexit")
+    assert program_digest(program) != program_digest(other)
