@@ -95,10 +95,15 @@ def default_paths():
 
 
 def partition_ownership(state_source=None):
-    """Parse ``repro/flextoe/state.py`` ``__slots__`` into ownership sets.
+    """Parse ``repro/flextoe/state.py`` field declarations into ownership
+    sets.
 
-    Returns ``{attr_name: partition}`` for every slot of the three
-    partition classes.
+    Partition classes declare their fields as a class-level string tuple:
+    historically ``__slots__``, now ``SLAB_FIELDS`` (the slab-backed
+    flyweights keep real slots empty and declare columns instead). Both
+    spellings are parsed; underscore-prefixed names are implementation
+    slots, not state fields. Returns ``{attr_name: partition}`` for every
+    field of the three partition classes.
     """
     if state_source is None:
         with open(_flextoe_path("state.py")) as handle:
@@ -113,11 +118,15 @@ def partition_ownership(state_source=None):
             if not isinstance(statement, ast.Assign):
                 continue
             targets = [t.id for t in statement.targets if isinstance(t, ast.Name)]
-            if "__slots__" not in targets:
+            if "__slots__" not in targets and "SLAB_FIELDS" not in targets:
                 continue
             if isinstance(statement.value, (ast.Tuple, ast.List)):
                 for element in statement.value.elts:
-                    if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    if (
+                        isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                        and not element.value.startswith("_")
+                    ):
                         ownership[element.value] = partition
     return ownership
 

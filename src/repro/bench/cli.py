@@ -7,6 +7,13 @@ Examples::
     python -m repro bench --list
     python -m repro bench --scenario echo-rpc-16pair --out /tmp/echo.json
     python -m repro bench --quick --compare BENCH_flextoe.json
+    python -m repro bench --scenario connscale-1m --no-out --no-history
+
+The default matrix includes the sharded ``connscale-10k``/``-100k``
+scale-out scenarios (events/sec + RSS per connection; the RSS figure is
+``--compare``-gated like a throughput regression). The
+million-connection point ``connscale-1m`` runs only when named
+explicitly — it takes minutes.
 
 ``--compare`` exits 1 when any scenario's calibrated events/sec falls
 more than ``--threshold`` (default 15 %) below the baseline report.

@@ -39,7 +39,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX
     resource = None
 
-from repro.bench.scenarios import QUICK_MATRIX, SCENARIOS, run_scenario
+from repro.bench.scenarios import QUICK_MATRIX, SCENARIOS, run_scenario, scenario_repeats
 
 SCHEMA = "repro-bench/1"
 
@@ -90,15 +90,16 @@ def calibrate(n_ops=_CALIBRATION_OPS, rounds=3):
 class BenchResult:
     """One scenario's measurement."""
 
-    __slots__ = ("name", "events", "sim_ns", "wall_s", "peak_rss_kb", "checks")
+    __slots__ = ("name", "events", "sim_ns", "wall_s", "peak_rss_kb", "checks", "metrics")
 
-    def __init__(self, name, events, sim_ns, wall_s, peak_rss_kb, checks):
+    def __init__(self, name, events, sim_ns, wall_s, peak_rss_kb, checks, metrics=None):
         self.name = name
         self.events = events
         self.sim_ns = sim_ns
         self.wall_s = wall_s
         self.peak_rss_kb = peak_rss_kb
         self.checks = checks
+        self.metrics = metrics or {}
 
     @property
     def events_per_sec(self):
@@ -109,7 +110,7 @@ class BenchResult:
         return self.sim_ns / self.wall_s if self.wall_s > 0 else float("inf")
 
     def to_jsonable(self):
-        return {
+        entry = {
             "events": self.events,
             "sim_ns": self.sim_ns,
             "wall_s": round(self.wall_s, 4),
@@ -118,6 +119,9 @@ class BenchResult:
             "peak_rss_kb": self.peak_rss_kb,
             "checks": self.checks,
         }
+        if self.metrics:
+            entry["metrics"] = self.metrics
+        return entry
 
 
 def run_one(name, quick=False, repeats=2):
@@ -129,13 +133,17 @@ def run_one(name, quick=False, repeats=2):
     the code). Events/sim-time/checks are identical across repeats.
     """
     best_wall = None
-    for _ in range(max(1, repeats)):
+    for _ in range(max(1, scenario_repeats(name, repeats))):
         start = time.perf_counter()  # sim-lint: allow (bench measures wall time)
-        sim, checks = run_scenario(name, quick=quick)
+        outcome = run_scenario(name, quick=quick)
         wall_s = time.perf_counter() - start  # sim-lint: allow
+        sim, checks = outcome[0], outcome[1]
+        metrics = outcome[2] if len(outcome) > 2 else None
         if best_wall is None or wall_s < best_wall:
             best_wall = wall_s
-    return BenchResult(name, sim.processed_events, sim.now, best_wall, _peak_rss_kb(), checks)
+    return BenchResult(
+        name, sim.processed_events, sim.now, best_wall, _peak_rss_kb(), checks, metrics
+    )
 
 
 def run_matrix(names=None, quick=False, out=None, repeats=2):
@@ -148,9 +156,18 @@ def run_matrix(names=None, quick=False, out=None, repeats=2):
         result = run_one(name, quick=quick, repeats=repeats)
         results.append(result)
         if out is not None:
+            rss_per_conn = result.metrics.get("rss_per_conn_bytes")
             out.write(
-                "%-18s %10d events %12d sim-ns %7.2f wall-s %12.0f ev/s %9d KB\n"
-                % (name, result.events, result.sim_ns, result.wall_s, result.events_per_sec, result.peak_rss_kb)
+                "%-18s %10d events %12d sim-ns %7.2f wall-s %12.0f ev/s %9d KB%s\n"
+                % (
+                    name,
+                    result.events,
+                    result.sim_ns,
+                    result.wall_s,
+                    result.events_per_sec,
+                    result.peak_rss_kb,
+                    "" if rss_per_conn is None else " %7.0f B/conn" % rss_per_conn,
+                )
             )
     report = {
         "schema": SCHEMA,
@@ -203,14 +220,22 @@ def history_record(report, sha=None, timestamp=None):
         "python": report.get("python"),
         "calibration_ops_per_sec": report.get("calibration_ops_per_sec"),
         "scenarios": {
-            name: {
-                "events": entry.get("events"),
-                "wall_s": entry.get("wall_s"),
-                "events_per_sec": entry.get("events_per_sec"),
-            }
+            name: _history_scenario(entry)
             for name, entry in report.get("scenarios", {}).items()
         },
     }
+
+
+def _history_scenario(entry):
+    compact = {
+        "events": entry.get("events"),
+        "wall_s": entry.get("wall_s"),
+        "events_per_sec": entry.get("events_per_sec"),
+    }
+    rss_per_conn = (entry.get("metrics") or {}).get("rss_per_conn_bytes")
+    if rss_per_conn is not None:
+        compact["rss_per_conn_bytes"] = rss_per_conn
+    return compact
 
 
 def append_history(report, path, sha=None, timestamp=None):
@@ -288,4 +313,20 @@ def compare_reports(new, baseline, threshold=DEFAULT_THRESHOLD):
                 )
         if old.get("checks") != fresh.get("checks"):
             warnings.append("{}: checks drifted {} -> {}".format(name, old.get("checks"), fresh.get("checks")))
+        # Memory gate: RSS per connection is machine-independent (it is
+        # bytes of state, not speed), so it compares raw — no
+        # calibration factor — and regressing it past the threshold is
+        # a hard failure like a throughput regression.
+        new_rss = (fresh.get("metrics") or {}).get("rss_per_conn_bytes")
+        old_rss = (old.get("metrics") or {}).get("rss_per_conn_bytes")
+        if new_rss is not None and old_rss:
+            if float(new_rss) > float(old_rss) * (1.0 + threshold):
+                failures.append(
+                    "{}: rss per connection regressed {:.1f}% ({:.0f} -> {:.0f} B/conn)".format(
+                        name,
+                        100.0 * (float(new_rss) / float(old_rss) - 1.0),
+                        float(old_rss),
+                        float(new_rss),
+                    )
+                )
     return failures, warnings

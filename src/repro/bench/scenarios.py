@@ -24,7 +24,7 @@ from repro.harness import Testbed
 from repro.xdp import XdpAdapter
 from repro.xdp.builtins.firewall import BLACKLIST_FD, block_ip, firewall_asm_program
 
-#: Scenario registry: name -> (builder, description).
+#: Scenario registry: name -> (builder, description, repeats-override).
 SCENARIOS = {}
 
 #: The subset the CI quick gate runs (all of them, at quick sizes).
@@ -35,21 +35,38 @@ QUICK_MATRIX = (
     "fault-soak",
     "xdp-filter-jit",
     "xdp-filter-interp",
+    "connscale-10k",
+    "connscale-100k",
 )
 
 
-def scenario(name, description):
+def scenario(name, description, repeats=None):
+    """Register a scenario. ``repeats`` overrides the runner's default
+    best-of-N wall-time sampling — the connscale scenarios pin it to 1
+    because each run spawns worker processes (minutes, not seconds, at
+    the large sizes) and their headline metric is memory, not wall."""
+
     def register(fn):
-        SCENARIOS[name] = (fn, description)
+        SCENARIOS[name] = (fn, description, repeats)
         return fn
 
     return register
 
 
+def scenario_repeats(name, default):
+    """The scenario's repeats override, or ``default``."""
+    entry = SCENARIOS[name]
+    return entry[2] if len(entry) > 2 and entry[2] else default
+
+
 def run_scenario(name, quick=False):
-    """Run one scenario; returns ``(sim, checks)``."""
+    """Run one scenario; returns ``(sim, checks)`` or
+    ``(sim, checks, metrics)`` — ``metrics`` being measured (therefore
+    non-deterministic) scenario-level quantities like RSS per
+    connection, which the runner reports but excludes from the
+    behaviour-drift comparison."""
     try:
-        fn, _ = SCENARIOS[name]
+        fn = SCENARIOS[name][0]
     except KeyError:
         raise KeyError(
             "unknown scenario {!r}; known: {}".format(name, ", ".join(sorted(SCENARIOS)))
@@ -246,3 +263,62 @@ def xdp_filter_jit(quick=False):
 @scenario("xdp-filter-interp", "same firewall pump on the BpfVm interpreter (JIT oracle)")
 def xdp_filter_interp(quick=False):
     return _xdp_filter(quick, jit=False)
+
+
+def _connscale(total_conns, shards):
+    """Million-connection scale-out curve (slab state + sharded workers).
+
+    Each shard is an independent process-isolated testbed owning a
+    residue class of flow groups: a handful of active RPC pairs plus its
+    share of ``total_conns`` bulk connections installed quiescent via
+    the recovery manager's adopt path. The headline metrics are
+    events/sec across shards and the measured RSS delta per bulk
+    connection — the paper's "connection state is bytes, not objects"
+    claim, which the slab layer restores (Table 5 budgets 108 B/conn).
+
+    Sizes are NOT reduced under --quick: the deterministic merge is the
+    point, and shrinking the plan would fork the committed baseline's
+    event counts between quick and full runs.
+    """
+    from repro.bench.shard import MergedSim, run_connscale
+
+    merged = run_connscale(total_conns=total_conns, shards=shards, actives=8, n_requests=5, seed=11)
+    counters = merged["counters"]
+    expected_actives = 8
+    if counters["bulk_installed"] != total_conns:
+        raise AssertionError(
+            "connscale incomplete: %d/%d bulk installs" % (counters["bulk_installed"], total_conns)
+        )
+    if counters["active_established"] != expected_actives:
+        raise AssertionError(
+            "connscale incomplete: %d active conns" % counters["active_established"]
+        )
+    checks = {
+        "bulk_conns": merged["bulk_conns"],
+        "rpcs": counters["rpcs"],
+        "active_established": counters["active_established"],
+        "shards": merged["n_shards"],
+    }
+    metrics = {
+        "rss_per_conn_bytes": merged["rss_per_conn_bytes"],
+        "rss_delta_kb": merged["rss_delta_kb"],
+        "worker_wall_s": merged["worker_wall_s"],
+    }
+    return MergedSim(merged["events"], merged["sim_ns"]), checks, metrics
+
+
+@scenario("connscale-10k", "10k slab connections across 4 sharded workers", repeats=1)
+def connscale_10k(quick=False):
+    return _connscale(10_000, shards=4)
+
+
+@scenario("connscale-100k", "100k slab connections across 4 sharded workers", repeats=1)
+def connscale_100k(quick=False):
+    return _connscale(100_000, shards=4)
+
+
+@scenario("connscale-1m", "the million-connection headline point (8 shards)", repeats=1)
+def connscale_1m(quick=False):
+    # Not in QUICK_MATRIX: minutes of wall time. Run explicitly with
+    #   python -m repro bench --scenario connscale-1m
+    return _connscale(1_000_000, shards=8)

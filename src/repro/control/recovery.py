@@ -49,22 +49,35 @@ from repro.flextoe.descriptors import (
     NOTIFY_TX_ACKED,
     HostControlDescriptor,
 )
+from repro.flextoe.slab import FLAG, INT, OBJ, Slab, SlabView, attach_fields
 from repro.flextoe.state import ProtocolState
+from repro.nfp.cam import pack_four_tuple
 from repro.proto import FLAG_ACK, FLAG_FIN, FLAG_RST, FLAG_SYN, make_tcp_frame
 from repro.proto.tcp import seq_add
 
 
-class ConnShadow:
+class ConnShadow(SlabView):
     """Host-visible mirror of one offloaded connection's protocol state.
 
     Counters are *derived from context-queue traffic* (authoritative,
     crash-consistent); ``nic_snapshot`` holds the latest periodic NIC
     state DMA (hints only, staleness bounded by the snapshot interval).
+
+    Shadows live in their own host-memory slab (one slot per tracked
+    connection — this is exactly the memory a crash must not take down),
+    and carry everything re-offload needs: identity, initial sequence
+    numbers, queue-derived counters, and the host buffer geometry. A
+    shadow is therefore self-sufficient — the manager can reinstall a
+    connection from its shadow alone, without the (dead) old record.
     """
 
-    __slots__ = (
+    __slots__ = ()
+    SLAB_FIELDS = (
         "index",
-        "four_tuple",
+        "local_ip",
+        "remote_ip",
+        "local_port",
+        "remote_port",
         "context_id",
         "snd_iss",
         "rcv_irs",
@@ -76,13 +89,24 @@ class ConnShadow:
         "peer_fin_seen",
         "rx_size",
         "tx_size",
+        "rx_base",
+        "tx_base",
+        "rx_region",
+        "tx_region",
+        "opaque",
         "peer_mac",
+        "local_mac",
         "nic_snapshot",
     )
 
     def __init__(self, index, four_tuple, context_id, snd_iss, rcv_irs, rx_size, tx_size, peer_mac):
+        self._bind()
         self.index = index
-        self.four_tuple = four_tuple
+        local_ip, remote_ip, local_port, remote_port = four_tuple
+        self.local_ip = local_ip
+        self.remote_ip = remote_ip
+        self.local_port = local_port
+        self.remote_port = remote_port
         self.context_id = context_id
         self.snd_iss = snd_iss  # first data byte's sequence number
         self.rcv_irs = rcv_irs  # first expected peer data byte
@@ -94,8 +118,18 @@ class ConnShadow:
         self.peer_fin_seen = False
         self.rx_size = rx_size
         self.tx_size = tx_size
+        self.rx_base = 0
+        self.tx_base = 0
+        self.rx_region = None
+        self.tx_region = None
+        self.opaque = None
         self.peer_mac = peer_mac
+        self.local_mac = None
         self.nic_snapshot = None
+
+    @property
+    def four_tuple(self):
+        return (self.local_ip, self.remote_ip, self.local_port, self.remote_port)
 
     @property
     def snd_una(self):
@@ -109,6 +143,39 @@ class ConnShadow:
         if self.peer_fin_seen:
             nxt = seq_add(nxt, 1)
         return nxt
+
+
+#: The host-side shadow slab: one slot per tracked connection. This is
+#: the memory recovery reads after a crash, so it lives outside the NIC
+#: object graph entirely — ``crash()``/``reboot()`` never touch it.
+SHADOW_SLAB = Slab(
+    fields=[
+        (
+            name,
+            FLAG
+            if name in ("fin_posted", "peer_fin_seen")
+            else OBJ
+            if name in ("rx_region", "tx_region", "opaque", "nic_snapshot")
+            else INT,
+        )
+        for name in ConnShadow.SLAB_FIELDS
+    ],
+    initial=1024,
+    name="shadow",
+)
+
+attach_fields(
+    ConnShadow,
+    SHADOW_SLAB,
+    kinds={
+        "fin_posted": FLAG,
+        "peer_fin_seen": FLAG,
+        "rx_region": OBJ,
+        "tx_region": OBJ,
+        "opaque": OBJ,
+        "nic_snapshot": OBJ,
+    },
+)
 
 
 def reconstruct_protocol_state(shadow):
@@ -234,7 +301,11 @@ class RecoveryManager:
         self.nic = plane.nic
         self.config = plane.config
         self.shadows = {}  # conn_index -> ConnShadow
-        self._by_tuple = {}  # four_tuple -> ConnShadow
+        # pack_four_tuple(four_tuple) -> ConnShadow, built lazily on the
+        # first tuple lookup (the slow-path shim during an outage) and
+        # maintained incrementally afterwards. Steady-state tracking —
+        # including million-connection adopts — pays nothing for it.
+        self._by_tuple = None
         self._tapped_contexts = set()
         self.degraded = False
         self.recoveries = 0
@@ -265,8 +336,15 @@ class RecoveryManager:
             post.tx_size,
             record.pre.peer_mac,
         )
+        shadow.rx_base = post.rx_base
+        shadow.tx_base = post.tx_base
+        shadow.rx_region = post.rx_region
+        shadow.tx_region = post.tx_region
+        shadow.opaque = post.opaque
+        shadow.local_mac = record.local_mac
         self.shadows[index] = shadow
-        self._by_tuple[record.four_tuple] = shadow
+        if self._by_tuple is not None:
+            self._by_tuple[pack_four_tuple(record.four_tuple)] = shadow
         if post.context_id not in self._tapped_contexts:
             pair = self.nic.context_pair(post.context_id)
             if pair is not None:
@@ -274,13 +352,56 @@ class RecoveryManager:
                 self._tapped_contexts.add(post.context_id)
         return shadow
 
+    def adopt_offloaded(
+        self,
+        four_tuple,
+        peer_mac,
+        local_mac,
+        iss,
+        irs,
+        context_id,
+        opaque,
+        rx_buffer,
+        tx_buffer,
+    ):
+        """Install a quiescent pre-established connection: NIC state plus
+        shadow, but no control-plane directory entry.
+
+        This is the million-connection scale-out path: adopted flows are
+        fully offloaded (lookup, scheduler admission, crash recovery via
+        the shadow-only re-offload pass) but skip the per-tick timer and
+        congestion scans, whose cost is proportional to directory size.
+        Returns ``(index, record)``.
+        """
+        index = self.nic.allocate_connection_index()
+        record = self.nic.offload_connection(
+            index=index,
+            four_tuple=four_tuple,
+            peer_mac=peer_mac,
+            local_mac=local_mac,
+            iss=iss,
+            irs=irs,
+            context_id=context_id,
+            opaque=opaque,
+            rx_buffer=rx_buffer,
+            tx_buffer=tx_buffer,
+        )
+        self.track(index, record, snd_iss=iss, rcv_irs=irs)
+        record.compact()  # quiescent: shed the cached partition views
+        return index, record
+
     def forget(self, index):
         shadow = self.shadows.pop(index, None)
-        if shadow is not None:
-            self._by_tuple.pop(shadow.four_tuple, None)
+        if shadow is not None and self._by_tuple is not None:
+            self._by_tuple.pop(pack_four_tuple(shadow.four_tuple), None)
 
     def shadow_for_tuple(self, four_tuple):
-        return self._by_tuple.get(four_tuple)
+        if self._by_tuple is None:
+            self._by_tuple = {
+                pack_four_tuple(shadow.four_tuple): shadow
+                for shadow in self.shadows.values()
+            }
+        return self._by_tuple.get(pack_four_tuple(four_tuple))
 
     def _on_pair_event(self, kind, item):
         shadow = self.shadows.get(item.conn_index)
@@ -369,6 +490,7 @@ class RecoveryManager:
         for pair in self.nic.datapath.contexts.values():
             self.purged_descriptors += len(pair.outbound)
             pair.outbound.clear()
+        reinstalled = set()
         for entry in list(self.plane.directory):
             shadow = self.shadows.get(entry.index)
             if shadow is None:
@@ -398,6 +520,7 @@ class RecoveryManager:
             entry.reset_backoff()
             self.plane.reprogram_rate(entry)
             self.reoffloaded_connections += 1
+            reinstalled.add(entry.index)
             # Kick the new doorbell so ATX re-drains the context, and
             # re-announce our receive window so a peer parked against
             # the shim's zero window wakes up even if it has nothing
@@ -407,3 +530,30 @@ class RecoveryManager:
                     CONTROL_CONTEXT, HostControlDescriptor(HC_RETRANSMIT, entry.index)
                 )
             self.plane.announce_window(record)
+        # Shadow-only connections (bulk adoptions with no directory
+        # entry — the control plane's timers never service them, but
+        # their data-path state must survive a crash all the same). The
+        # shadow is self-sufficient, so reinstall straight from it.
+        for index in sorted(self.shadows):
+            if index in reinstalled:
+                continue
+            shadow = self.shadows[index]
+            proto = reconstruct_protocol_state(shadow)
+            self.nic.offload_connection(
+                index=shadow.index,
+                four_tuple=shadow.four_tuple,
+                peer_mac=shadow.peer_mac,
+                local_mac=shadow.local_mac,
+                iss=proto.seq,
+                irs=proto.ack,
+                context_id=shadow.context_id,
+                opaque=shadow.opaque,
+                rx_buffer=(shadow.rx_region, shadow.rx_base, shadow.rx_size),
+                tx_buffer=(shadow.tx_region, shadow.tx_base, shadow.tx_size),
+                proto=proto,
+            )
+            self.reoffloaded_connections += 1
+            if proto.tx_avail > 0 or proto.fin_pending:
+                self.nic.post_hc(
+                    CONTROL_CONTEXT, HostControlDescriptor(HC_RETRANSMIT, shadow.index)
+                )

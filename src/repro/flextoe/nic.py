@@ -12,7 +12,7 @@
 from repro.flextoe.config import PipelineConfig
 from repro.flextoe.datapath import FlexToeDatapath
 from repro.flextoe.scheduler import rate_to_interval_q8
-from repro.flextoe.state import ConnectionRecord, PostprocState, PreprocState, ProtocolState
+from repro.flextoe.state import ConnectionRecord
 from repro.nfp import Nfp4000
 from repro.sim import Store
 
@@ -133,11 +133,18 @@ class FlexToeNic:
         from the host hugepage pool. ``proto`` may carry a pre-built
         ProtocolState (crash recovery re-offloads a reconstructed one);
         by default a fresh post-handshake state is created. Returns the
-        ConnectionRecord.
+        ConnectionRecord — one shared slab slot whose ``pre``/``proto``/
+        ``post`` views this method populates.
         """
         local_ip, remote_ip, local_port, remote_port = four_tuple
         flow_group = self.config.flow_group_of(four_tuple)
-        pre = PreprocState(
+        record = ConnectionRecord(
+            index=index,
+            four_tuple=four_tuple,
+            local_mac=local_mac,
+            local_ip=local_ip,
+        )
+        record.pre.init(
             peer_mac=peer_mac,
             peer_ip=remote_ip,
             local_port=local_port,
@@ -147,8 +154,13 @@ class FlexToeNic:
         rx_region, rx_base, rx_size = rx_buffer
         tx_region, tx_base, tx_size = tx_buffer
         if proto is None:
-            proto = ProtocolState(seq=iss, ack=irs, rx_avail=rx_size, remote_win=remote_win)
-        post = PostprocState(
+            record.proto.init(seq=iss, ack=irs, rx_avail=rx_size, remote_win=remote_win)
+        else:
+            # Recovery hands in a loose reconstructed state; copy it into
+            # the record's slot so the data path sees one coherent row.
+            record.proto.copy_from(proto)
+        post = record.post
+        post.init(
             opaque=opaque,
             context_id=context_id,
             rx_base=rx_base,
@@ -160,15 +172,6 @@ class FlexToeNic:
         )
         post.use_timestamps = self.config.use_timestamps
         post.use_ecn = self.config.use_ecn
-        record = ConnectionRecord(
-            index=index,
-            four_tuple=four_tuple,
-            pre=pre,
-            proto=proto,
-            post=post,
-            local_mac=local_mac,
-            local_ip=local_ip,
-        )
         self.datapath.install_connection(record)
         return record
 

@@ -1,0 +1,282 @@
+"""Array-of-struct slab storage for per-connection state.
+
+FlexTOE's premise is that data-path connection state is *small and
+flat* — Table 5 packs a connection into 108 bytes precisely so a million
+of them fit in NIC memory. The original Python model stored each
+partition as a heap object (hundreds of bytes of CPython overhead per
+connection), which made per-connection cost objects, not bytes. This
+module provides the storage layer that restores the paper's O(bytes)
+footprint: preallocated column arrays ("slabs") indexed by slot id, with
+thin *flyweight* views exposing the exact attribute API the stages, the
+sanitizer and the stagelint write-set analysis already use.
+
+Layout
+------
+
+A :class:`Slab` is a structure-of-arrays pool. Every declared field is
+one column:
+
+* ``INT`` — an ``array('q')`` of signed 64-bit values. Two sentinel
+  encodings keep the column total: ``None`` is stored as a reserved
+  sentinel, and rare non-integer values (tests pass MAC bytes / dotted
+  IP strings) spill into a per-column overflow dict keyed by slot.
+  Inline integers must sit above ``_SENT_FLOOR``; anything else spills.
+* ``FLAG`` — an ``array('q')`` column read back as real ``bool``.
+* ``OBJ`` — a plain list column for reference fields (host memory
+  regions, opaque app handles, snapshot dicts).
+
+Scalar columns support zero-copy inspection via :meth:`Slab.column_view`
+(a ``memoryview``), which the property tests use to check that freed
+slots are fully zeroed before reuse.
+
+Flyweights
+----------
+
+A :class:`SlabView` subclass declares its fields in a class-level
+``SLAB_FIELDS`` tuple (statically parseable, like ``__slots__`` —
+``repro.analysis.stagelint`` reads it for partition ownership) and gets
+one generated ``property`` per field via :func:`attach_fields`. The
+properties close over the column objects themselves (columns grow with
+``array.extend`` in place, so identity is stable), making an attribute
+access one bound-method call plus one array index.
+
+Because fields are plain data descriptors, attribute *writes* still
+dispatch through ``cls.__setattr__`` -> ``object.__setattr__`` ->
+``property.__set__`` — the race sanitizer's ``__setattr__``
+instrumentation keeps working unchanged, and
+``cls.__setattr__ is object.__setattr__`` stays true when it is not
+installed.
+
+Ownership: a view constructed normally allocates its own slot and frees
+it when garbage collected; :meth:`SlabView.view` binds a borrowing view
+onto an existing slot (the three partitions of one
+:class:`~repro.flextoe.state.ConnectionRecord` share the record's
+slot). Slot reclamation rides CPython's deterministic refcounting, so
+slab allocation order — and therefore every simulation that touches it —
+stays reproducible.
+"""
+
+from array import array
+
+INT = "int"
+FLAG = "flag"
+OBJ = "obj"
+
+#: Inline int values must be strictly above this floor; the space below
+#: is reserved for sentinels. (No protocol field comes near -2**60.)
+_SENT_FLOOR = -(1 << 60)
+_NONE = -(1 << 62)  # field holds None
+_SPILL = -(1 << 62) + 1  # value lives in the column's overflow dict
+_INLINE_MAX = (1 << 63) - 1  # top of array('q') range
+
+#: Growth step (slots) once the initial preallocation is full. Linear,
+#: not geometric: doubling a million-connection pool would strand up to
+#: half the columns as dead capacity, and ``array.extend`` is amortized
+#: O(1) per slot either way. Worst-case slack is one chunk.
+_GROW_STEP = 4096
+
+
+class Slab:
+    """A preallocated array-of-struct pool indexed by slot id."""
+
+    __slots__ = (
+        "name",
+        "fields",
+        "capacity",
+        "live",
+        "high_water",
+        "columns",
+        "overflow",
+        "_free",
+        "_next",
+    )
+
+    def __init__(self, fields, initial=1024, name="slab"):
+        self.name = name
+        self.fields = tuple(fields)  # (field_name, kind) pairs
+        seen = set()
+        for field_name, kind in self.fields:
+            if field_name in seen:
+                raise ValueError("duplicate slab field {!r}".format(field_name))
+            if kind not in (INT, FLAG, OBJ):
+                raise ValueError("unknown slab kind {!r}".format(kind))
+            seen.add(field_name)
+        self.capacity = 0
+        self.live = 0
+        self.high_water = 0
+        self.columns = {}
+        self.overflow = {}  # INT columns only: slot -> spilled value
+        self._free = []  # LIFO, so slot reuse is deterministic
+        self._next = 0
+        for field_name, kind in self.fields:
+            self.columns[field_name] = [] if kind == OBJ else array("q")
+            if kind == INT:
+                self.overflow[field_name] = {}
+        self._grow(max(1, initial))
+
+    def _grow(self, count):
+        zeros = [0] * count
+        nones = [None] * count
+        for field_name, kind in self.fields:
+            self.columns[field_name].extend(nones if kind == OBJ else zeros)
+        self.capacity += count
+
+    def alloc(self):
+        """Claim a zeroed slot; grows the pool when exhausted."""
+        if self._free:
+            slot = self._free.pop()
+        else:
+            if self._next >= self.capacity:
+                self._grow(_GROW_STEP)
+            slot = self._next
+            self._next += 1
+        self.live += 1
+        if self.live > self.high_water:
+            self.high_water = self.live
+        return slot
+
+    def free(self, slot):
+        """Release ``slot``, zeroing every column so reuse starts clean."""
+        for field_name, kind in self.fields:
+            if kind == OBJ:
+                self.columns[field_name][slot] = None
+            else:
+                self.columns[field_name][slot] = 0
+            ovf = self.overflow.get(field_name)
+            if ovf:
+                ovf.pop(slot, None)
+        self.live -= 1
+        self._free.append(slot)
+
+    def column_view(self, field_name):
+        """Zero-copy ``memoryview`` of a scalar (INT/FLAG) column."""
+        column = self.columns[field_name]
+        if isinstance(column, list):
+            raise TypeError("{}: OBJ columns have no buffer".format(field_name))
+        return memoryview(column)
+
+    def bytes_per_slot(self):
+        """Storage cost of one slot across all columns (8 B per column)."""
+        return 8 * len(self.fields)
+
+    def stats(self):
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "live": self.live,
+            "high_water": self.high_water,
+            "bytes_per_slot": self.bytes_per_slot(),
+            "overflow_entries": sum(len(ovf) for ovf in self.overflow.values()),
+        }
+
+
+def _int_property(column, overflow):
+    def fget(self):
+        value = column[self._i]
+        if value > _SENT_FLOOR:
+            return value
+        if value == _NONE:
+            return None
+        return overflow[self._i]
+
+    def fset(self, value):
+        if value is None:
+            column[self._i] = _NONE
+            if overflow:
+                overflow.pop(self._i, None)
+        elif type(value) is int and _SENT_FLOOR < value <= _INLINE_MAX:
+            column[self._i] = value
+            if overflow:
+                overflow.pop(self._i, None)
+        else:
+            # Rare: non-int identity values (MAC bytes, dotted-quad
+            # strings) or out-of-range ints spill out of the column.
+            column[self._i] = _SPILL
+            overflow[self._i] = value
+
+    return property(fget, fset)
+
+
+def _flag_property(column):
+    def fget(self):
+        return column[self._i] != 0
+
+    def fset(self, value):
+        column[self._i] = 1 if value else 0
+
+    return property(fget, fset)
+
+
+def _obj_property(column):
+    def fget(self):
+        return column[self._i]
+
+    def fset(self, value):
+        column[self._i] = value
+
+    return property(fget, fset)
+
+
+class SlabView:
+    """Flyweight over one slab slot; subclasses declare ``SLAB_FIELDS``."""
+
+    __slots__ = ("_i", "_own")
+
+    #: Set by attach_fields().
+    SLAB = None
+    SLAB_FIELDS = ()
+
+    def _bind(self, slot=None):
+        """Attach to ``slot``, or allocate (and own) a fresh one."""
+        if slot is None:
+            self._i = type(self).SLAB.alloc()
+            self._own = True
+        else:
+            self._i = slot
+            self._own = False
+
+    @classmethod
+    def view(cls, slot):
+        """A borrowing view of an existing slot (no init, no ownership)."""
+        self = cls.__new__(cls)
+        self._i = slot
+        self._own = False
+        return self
+
+    @property
+    def slab_slot(self):
+        return self._i
+
+    def copy_from(self, other):
+        """Field-wise copy from another view (or any duck-typed object)."""
+        for field_name in type(self).SLAB_FIELDS:
+            setattr(self, field_name, getattr(other, field_name))
+
+    def __del__(self):
+        try:
+            if self._own:
+                type(self).SLAB.free(self._i)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+
+def attach_fields(cls, slab, kinds=None):
+    """Install slab-backed properties for ``cls.SLAB_FIELDS`` on ``cls``.
+
+    ``kinds`` maps field name -> INT/FLAG/OBJ (INT is the default). The
+    generated properties close over the column objects, so they must be
+    attached against the slab instance the class will live on.
+    """
+    kinds = kinds or {}
+    cls.SLAB = slab
+    for field_name in cls.SLAB_FIELDS:
+        kind = kinds.get(field_name, INT)
+        column = slab.columns[field_name]
+        if kind == INT:
+            prop = _int_property(column, slab.overflow[field_name])
+        elif kind == FLAG:
+            prop = _flag_property(column)
+        else:
+            prop = _obj_property(column)
+        setattr(cls, field_name, prop)
+    return cls

@@ -4,6 +4,17 @@ Each stage owns exactly one partition; cross-stage information travels as
 metadata on the work item (the module-API rule of §3.3). The partition
 sizes reproduce the paper's 108 bytes per connection.
 
+Storage is a single array-of-struct slab (:mod:`repro.flextoe.slab`):
+every connection occupies one slot across all columns, and the partition
+classes below are flyweight views onto that slot. A class declares its
+fields in ``SLAB_FIELDS`` — the statically parseable equivalent of the
+old ``__slots__`` tuples, which ``repro.analysis.stagelint`` reads to
+build the write-set ownership map — and :func:`~repro.flextoe.slab.attach_fields`
+generates one property per field. The attribute API is unchanged, so
+stage code, the race sanitizer and existing tests keep working; the
+per-connection footprint drops from kilobytes of heap objects to a few
+machine words of column storage.
+
 Replicated stage instances of one flow group share their partition, so a
 plain read-modify-write from a replicated stage is a lost-update race on
 hardware. Fields that are *commutative counters* may instead use the NFP
@@ -12,6 +23,7 @@ which the static atomicity lint checks and which :func:`atomic_add` uses
 to charge the engine's issue latency in the simulator.
 """
 
+from repro.flextoe.slab import FLAG, INT, OBJ, Slab, SlabView, attach_fields
 from repro.nfp.memory import LAT_ATOMIC_ADD
 from repro.proto.tcp import seq_add
 
@@ -57,13 +69,18 @@ def atomic_add(target, field, delta, maximum=None):
     return LAT_ATOMIC_ADD
 
 
-class PreprocState:
+class PreprocState(SlabView):
     """Pre-processor partition: connection identification (15 B)."""
 
-    __slots__ = ("peer_mac", "peer_ip", "local_port", "remote_port", "flow_group")
+    __slots__ = ()
+    SLAB_FIELDS = ("peer_mac", "peer_ip", "local_port", "remote_port", "flow_group")
     SIZE_BYTES = 15
 
     def __init__(self, peer_mac, peer_ip, local_port, remote_port, flow_group):
+        self._bind()
+        self.init(peer_mac, peer_ip, local_port, remote_port, flow_group)
+
+    def init(self, peer_mac, peer_ip, local_port, remote_port, flow_group):
         self.peer_mac = peer_mac
         self.peer_ip = peer_ip
         self.local_port = local_port
@@ -71,7 +88,7 @@ class PreprocState:
         self.flow_group = flow_group
 
 
-class ProtocolState:
+class ProtocolState(SlabView):
     """Protocol partition: the TCP state machine fields (43 B).
 
     Positions are *offsets* into the host circular payload buffers; the
@@ -79,7 +96,8 @@ class ProtocolState:
     protocol stage cannot read.
     """
 
-    __slots__ = (
+    __slots__ = ()
+    SLAB_FIELDS = (
         "rx_pos",
         "tx_pos",
         "tx_avail",
@@ -100,6 +118,10 @@ class ProtocolState:
     SIZE_BYTES = 43
 
     def __init__(self, seq=0, ack=0, rx_avail=0, remote_win=0xFFFF):
+        self._bind()
+        self.init(seq=seq, ack=ack, rx_avail=rx_avail, remote_win=remote_win)
+
+    def init(self, seq=0, ack=0, rx_avail=0, remote_win=0xFFFF):
         self.rx_pos = 0
         self.tx_pos = 0
         self.tx_avail = 0
@@ -147,10 +169,11 @@ class ProtocolState:
         return data_rewound
 
 
-class PostprocState:
+class PostprocState(SlabView):
     """Post-processor partition: app interface + congestion stats (51 B)."""
 
-    __slots__ = (
+    __slots__ = ()
+    SLAB_FIELDS = (
         "opaque",
         "context_id",
         "rx_base",
@@ -170,6 +193,10 @@ class PostprocState:
     SIZE_BYTES = 51
 
     def __init__(self, opaque, context_id, rx_base, tx_base, rx_size, tx_size, rx_region=None, tx_region=None):
+        self._bind()
+        self.init(opaque, context_id, rx_base, tx_base, rx_size, tx_size, rx_region, tx_region)
+
+    def init(self, opaque, context_id, rx_base, tx_base, rx_size, tx_size, rx_region=None, tx_region=None):
         self.opaque = opaque
         self.context_id = context_id
         self.rx_base = rx_base
@@ -252,20 +279,113 @@ atomic("heartbeat", "hb_beats")
 TOTAL_STATE_BYTES = PreprocState.SIZE_BYTES + ProtocolState.SIZE_BYTES + PostprocState.SIZE_BYTES
 
 
-class ConnectionRecord:
-    """One offloaded connection: the three partitions plus identity."""
+class ConnectionRecord(SlabView):
+    """One offloaded connection: the three partitions plus identity.
 
-    __slots__ = ("index", "four_tuple", "pre", "proto", "post", "local_mac", "local_ip", "active")
+    The record owns one shared slab slot; ``pre``/``proto``/``post`` are
+    borrowing views of the same slot, so the whole connection — identity
+    included — is a single row across the slab's columns.
+    """
 
-    def __init__(self, index, four_tuple, pre, proto, post, local_mac, local_ip):
+    __slots__ = ("index", "_pre", "_proto", "_post")
+    SLAB_FIELDS = ("local_mac", "local_ip", "active")
+
+    def __init__(self, index, four_tuple, local_mac, local_ip):
+        local_tuple_ip, remote_ip, local_port, remote_port = four_tuple
+        if local_tuple_ip != local_ip:
+            raise ValueError("four_tuple local ip does not match local_ip")
+        self._bind()
         self.index = index
-        self.four_tuple = four_tuple  # (local_ip, remote_ip, local_port, remote_port)
-        self.pre = pre
-        self.proto = proto
-        self.post = post
         self.local_mac = local_mac
         self.local_ip = local_ip
         self.active = True
+        self._pre = None
+        self._proto = None
+        self._post = None
+        self.pre.init(
+            peer_mac=None,
+            peer_ip=remote_ip,
+            local_port=local_port,
+            remote_port=remote_port,
+            flow_group=0,
+        )
+
+    # The partition views are lazy and cached: actively-processed
+    # connections materialize them once and keep them; quiescent
+    # connections (bulk installs between bursts) can shed them via
+    # compact() so a parked connection costs slab bytes, not objects.
+
+    @property
+    def pre(self):
+        view = self._pre
+        if view is None:
+            view = self._pre = PreprocState.view(self.slab_slot)
+        return view
+
+    @property
+    def proto(self):
+        view = self._proto
+        if view is None:
+            view = self._proto = ProtocolState.view(self.slab_slot)
+        return view
+
+    @property
+    def post(self):
+        view = self._post
+        if view is None:
+            view = self._post = PostprocState.view(self.slab_slot)
+        return view
+
+    def compact(self):
+        """Drop the cached partition views (recreated on next access).
+
+        For connections installed quiescent (no traffic in flight) this
+        trades three per-connection view objects for a recreate on first
+        touch. Note the race sanitizer registers view objects at install
+        time; views recreated after compact() are simply unregistered —
+        their writes are treated as scratch state, which is the
+        tolerance the sanitizer already extends."""
+        self._pre = None
+        self._proto = None
+        self._post = None
+
+    @property
+    def four_tuple(self):
+        pre = self.pre
+        return (self.local_ip, pre.peer_ip, pre.local_port, pre.remote_port)
+
+
+#: Every connection (and every standalone partition instance tests
+#: construct) lives in this one module-level slab. Column identity is
+#: stable across growth, so the generated properties bind columns once.
+_CONN_KINDS = {
+    "fin_pending": FLAG,
+    "use_timestamps": FLAG,
+    "use_ecn": FLAG,
+    "active": FLAG,
+    "opaque": OBJ,
+    "rx_region": OBJ,
+    "tx_region": OBJ,
+}
+
+CONN_SLAB = Slab(
+    fields=[
+        (name, _CONN_KINDS.get(name, INT))
+        for name in (
+            PreprocState.SLAB_FIELDS
+            + ProtocolState.SLAB_FIELDS
+            + PostprocState.SLAB_FIELDS
+            + ConnectionRecord.SLAB_FIELDS
+        )
+    ],
+    initial=1024,
+    name="conn",
+)
+
+attach_fields(PreprocState, CONN_SLAB, _CONN_KINDS)
+attach_fields(ProtocolState, CONN_SLAB, _CONN_KINDS)
+attach_fields(PostprocState, CONN_SLAB, _CONN_KINDS)
+attach_fields(ConnectionRecord, CONN_SLAB, _CONN_KINDS)
 
 
 class ConnectionTable:
@@ -274,28 +394,34 @@ class ConnectionTable:
     The control plane installs records at connection setup (paper §3.4)
     and removes them at teardown. Indices are allocated to minimize
     collisions in the direct-mapped CLS cache (paper §4.1) — a simple
-    ascending allocator achieves that layout.
+    ascending allocator achieves that layout — so the table is a dense
+    list: one machine word per installed connection.
     """
 
     def __init__(self, capacity=1 << 20):
         self.capacity = capacity
-        self._records = {}
+        self._records = []  # index -> record (None = free slot)
         self._free_indices = []
         self._next_index = 0
+        self._live = 0
 
     def install(self, record):
-        if record.index in self._records:
-            raise ValueError("connection index {} already installed".format(record.index))
-        self._records[record.index] = record
+        index = record.index
+        if index < len(self._records) and self._records[index] is not None:
+            raise ValueError("connection index {} already installed".format(index))
+        if index >= len(self._records):
+            self._records.extend([None] * (index + 1 - len(self._records)))
+        self._records[index] = record
+        self._live += 1
         # Keep the allocator ahead of externally chosen indices so a
         # table rebuilt during crash recovery (records re-installed with
         # their pre-crash indices) never re-allocates a live index.
-        if record.index >= self._next_index:
-            self._next_index = record.index + 1
+        if index >= self._next_index:
+            self._next_index = index + 1
 
     def records(self):
         """Installed records in index order (deterministic iteration)."""
-        return [self._records[index] for index in sorted(self._records)]
+        return [record for record in self._records if record is not None]
 
     def allocate_index(self):
         if self._free_indices:
@@ -307,17 +433,23 @@ class ConnectionTable:
         return index
 
     def remove(self, index):
-        record = self._records.pop(index, None)
+        record = None
+        if 0 <= index < len(self._records):
+            record = self._records[index]
+            self._records[index] = None
         if record is not None:
             record.active = False
+            self._live -= 1
             self._free_indices.append(index)
         return record
 
     def get(self, index):
-        return self._records.get(index)
+        if 0 <= index < len(self._records):
+            return self._records[index]
+        return None
 
     def __len__(self):
-        return len(self._records)
+        return self._live
 
     def __iter__(self):
-        return iter(self._records.values())
+        return iter(self.records())

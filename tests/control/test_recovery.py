@@ -209,6 +209,91 @@ def test_out_of_window_rst_is_ignored():
     assert len(plane.directory) == 1
 
 
+def test_recovery_at_scale_reoffloads_every_shadow():
+    """NIC crash/reboot with 10k slab-backed quiescent connections: the
+    shadow slab survives the crash intact, and the watchdog-driven
+    recovery re-offloads every shadow — directory-tracked actives and
+    adopt-installed bulk connections alike — with correct state."""
+    import gc
+
+    from repro.control.recovery import SHADOW_SLAB
+
+    n_bulk = 10_000
+    bed, server, client = build(
+        server_kwargs={"config": ControlPlaneConfig(snapshot_interval_ns=0)}
+    )
+    establish_and_ping(bed, server, client)
+
+    recovery = server.control_plane.enable_recovery()
+    server.nic.register_context(500, capacity=4)
+    region = server.machine.memory.alloc(4096)
+    gc.collect()
+    shadow_live_before = SHADOW_SLAB.stats()["live"]
+    adopted = {}
+    for i in range(n_bulk):
+        four = (server.ip, (11 << 24) + i, 9, 40000)
+        index, record = recovery.adopt_offloaded(
+            four_tuple=four,
+            peer_mac=0x020000000099,
+            local_mac=server.mac,
+            iss=1000 + i,
+            irs=2000 + i,
+            context_id=500,
+            opaque=None,
+            rx_buffer=(region, 0, 2048),
+            tx_buffer=(region, 2048, 2048),
+        )
+        assert record.four_tuple == four
+        adopted[index] = four
+    gc.collect()
+    assert SHADOW_SLAB.stats()["live"] - shadow_live_before == n_bulk
+    assert len(recovery.shadows) == n_bulk + 1  # bulk + the active pair
+
+    sample = sorted(adopted)[:: n_bulk // 4][:4]
+    expected = {
+        index: (
+            recovery.shadows[index].four_tuple,
+            recovery.shadows[index].snd_iss,
+            recovery.shadows[index].rcv_irs,
+            recovery.shadows[index].context_id,
+            recovery.shadows[index].peer_mac,
+        )
+        for index in sample
+    }
+
+    server.nic.crash()
+    # The shadow slab is host memory: a dead data path cannot touch it.
+    assert len(recovery.shadows) == n_bulk + 1
+    for index in sample:
+        shadow = recovery.shadows[index]
+        assert (
+            shadow.four_tuple,
+            shadow.snd_iss,
+            shadow.rcv_irs,
+            shadow.context_id,
+            shadow.peer_mac,
+        ) == expected[index]
+
+    bed.sim.run(until=bed.sim.now + 50_000_000)
+
+    assert recovery.watchdog_fired >= 1
+    assert recovery.recoveries >= 1
+    assert server.nic.reboots == 1
+    assert recovery.reoffloaded_connections == n_bulk + 1
+    for index, four in ((i, adopted[i]) for i in sample):
+        record = server.nic.connection(index)
+        assert record is not None
+        assert record.four_tuple == four
+        found, looked_up, _ = server.nic.datapath.lookup_engine.lookup(four)
+        assert found and looked_up == index
+        # Quiescent connections re-offload at their shadow's sequence
+        # state: nothing sent, nothing received beyond the handshake.
+        assert record.proto.seq == recovery.shadows[index].snd_una
+        assert record.proto.ack == recovery.shadows[index].rcv_nxt
+    # The NIC-side table was rebuilt, not leaked: one record per shadow.
+    assert len(server.nic.datapath.conn_table) == n_bulk + 1
+
+
 def test_handshake_timeout_is_typed_and_configurable():
     """An unanswered SYN gives up after max_syn_retries attempts with a
     HandshakeTimeoutError (a ConnectRefusedError, so existing callers

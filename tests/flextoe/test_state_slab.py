@@ -1,0 +1,189 @@
+"""Property-based tests of the slab storage layer.
+
+The slab is the foundation under every connection's state (and the
+host-side shadows), so its invariants are checked against a pure-Python
+model under randomized alloc/free/write/read interleavings:
+
+* no aliasing: writes through one live view never show through another;
+* flyweight reads always equal the model (a dict per live slot);
+* freed slots are fully zeroed — scalar columns via the raw
+  ``column_view`` buffer, OBJ columns and overflow dicts by direct
+  inspection — before any reuse can observe stale state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flextoe.slab import FLAG, INT, OBJ, Slab, SlabView, attach_fields
+
+FIELDS = (("alpha", INT), ("beta", INT), ("gamma", FLAG), ("delta", OBJ))
+FIELD_NAMES = tuple(name for name, _ in FIELDS)
+
+#: Values exercising every INT encoding path: inline ints, None
+#: (sentinel), and spill values (non-int / out-of-64-bit-range).
+INT_VALUES = st.one_of(
+    st.integers(min_value=-(1 << 40), max_value=(1 << 40)),
+    st.none(),
+    st.integers(min_value=1 << 64, max_value=1 << 70),  # overflow spill
+    st.binary(min_size=6, max_size=6),  # MAC-like spill
+)
+FLAG_VALUES = st.booleans()
+OBJ_VALUES = st.one_of(st.none(), st.text(max_size=4), st.tuples(st.integers()))
+
+
+def make_slab_and_cls(initial=4):
+    slab = Slab(fields=FIELDS, initial=initial, name="prop")
+
+    class View(SlabView):
+        __slots__ = ()
+        SLAB_FIELDS = FIELD_NAMES
+
+    attach_fields(View, slab, kinds=dict(FIELDS))
+    return slab, View
+
+
+def value_for(field, data):
+    if field == "gamma":
+        return data.draw(FLAG_VALUES)
+    if field == "delta":
+        return data.draw(OBJ_VALUES)
+    return data.draw(INT_VALUES)
+
+
+def normalize(field, value):
+    """What a read should produce after writing ``value``."""
+    if field == "gamma":
+        return bool(value)
+    return value
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_random_alloc_free_matches_model(data):
+    """Interleaved alloc/free/write with a dict-per-slot model oracle."""
+    slab, View = make_slab_and_cls()
+    live = {}  # handle -> (view, model dict)
+    next_handle = 0
+    for _ in range(data.draw(st.integers(min_value=1, max_value=60))):
+        ops = ["alloc"]
+        if live:
+            ops += ["write", "free", "check"]
+        op = data.draw(st.sampled_from(ops))
+        if op == "alloc":
+            view = View()
+            view._bind()
+            live[next_handle] = (view, {name: normalize(name, 0) if name == "gamma" else (None if name == "delta" else 0) for name in FIELD_NAMES})
+            # Model of a fresh slot: scalar columns zero, OBJ None.
+            live[next_handle][1].update({"alpha": 0, "beta": 0, "gamma": False, "delta": None})
+            next_handle += 1
+        elif op == "write":
+            handle = data.draw(st.sampled_from(sorted(live)))
+            view, model = live[handle]
+            field = data.draw(st.sampled_from(FIELD_NAMES))
+            value = value_for(field, data)
+            setattr(view, field, value)
+            model[field] = normalize(field, value)
+        elif op == "free":
+            handle = data.draw(st.sampled_from(sorted(live)))
+            view, _ = live.pop(handle)
+            slab.free(view.slab_slot)
+            view._own = False  # slot returned; defuse the destructor
+        else:  # check every live view against its model
+            for view, model in live.values():
+                for field in FIELD_NAMES:
+                    assert getattr(view, field) == model[field]
+        # Aliasing invariant: distinct live handles sit on distinct slots.
+        slots = [view.slab_slot for view, _ in live.values()]
+        assert len(slots) == len(set(slots))
+    for view, model in live.values():
+        for field in FIELD_NAMES:
+            assert getattr(view, field) == model[field]
+    assert slab.live == len(live)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_writes_never_alias_across_live_slots(data):
+    """Writing one slot leaves every other live slot's fields intact."""
+    slab, View = make_slab_and_cls()
+    views = []
+    for i in range(data.draw(st.integers(min_value=2, max_value=10))):
+        view = View()
+        view._bind()
+        view.alpha = 1000 + i
+        view.beta = -i
+        view.gamma = bool(i % 2)
+        view.delta = ("slot", i)
+        views.append(view)
+    victim = data.draw(st.integers(min_value=0, max_value=len(views) - 1))
+    view = views[victim]
+    view.alpha = data.draw(st.integers())
+    view.gamma = data.draw(st.booleans())
+    view.delta = "overwritten"
+    for i, other in enumerate(views):
+        if i == victim:
+            continue
+        assert other.alpha == 1000 + i
+        assert other.beta == -i
+        assert other.gamma == bool(i % 2)
+        assert other.delta == ("slot", i)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_freed_slots_are_fully_zeroed(data):
+    """After free(), the slot's scalar cells read 0 through the raw
+    column buffer, OBJ cells are None, and no overflow entry remains."""
+    slab, View = make_slab_and_cls()
+    views = []
+    for _ in range(data.draw(st.integers(min_value=1, max_value=8))):
+        view = View()
+        view._bind()
+        for field in FIELD_NAMES:
+            setattr(view, field, value_for(field, data))
+        views.append(view)
+    freed_slots = []
+    for view in views:
+        freed_slots.append(view.slab_slot)
+        slab.free(view.slab_slot)
+        view._own = False
+    for slot in freed_slots:
+        for name, kind in FIELDS:
+            if kind == OBJ:
+                assert slab.columns[name][slot] is None
+            else:
+                assert slab.column_view(name)[slot] == 0
+            assert slot not in slab.overflow.get(name, {})
+    # Reuse starts from the zeroed state: a fresh view on a recycled
+    # slot observes defaults, not the prior tenant's values.
+    fresh = View()
+    fresh._bind()
+    assert fresh.slab_slot in freed_slots  # LIFO free list recycles
+    assert fresh.alpha == 0 and fresh.beta == 0
+    assert fresh.gamma is False and fresh.delta is None
+
+
+def test_slab_rejects_bad_declarations():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Slab(fields=[("x", INT), ("x", FLAG)])
+    with pytest.raises(ValueError):
+        Slab(fields=[("x", "float")])
+    slab = Slab(fields=[("x", INT), ("o", OBJ)])
+    with pytest.raises(TypeError):
+        slab.column_view("o")
+
+
+def test_linear_growth_and_stats():
+    slab, View = make_slab_and_cls(initial=2)
+    views = []
+    for _ in range(5):  # force growth past the initial capacity
+        view = View()
+        view._bind()
+        views.append(view)
+    stats = slab.stats()
+    assert stats["live"] == 5
+    assert stats["high_water"] == 5
+    assert stats["bytes_per_slot"] == 8 * len(FIELDS)
+    assert slab.capacity >= 5

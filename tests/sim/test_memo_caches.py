@@ -1,0 +1,58 @@
+"""Hot-path memoisation caches stay O(distinct inputs), not O(events).
+
+Two memo caches sit under every simulated event: ``Clock.cycles_to_ns``
+(stage costs, memory latencies) and ``wire_time_ns`` (serialization
+delay). Both must (a) return exact values whether or not the memo takes
+the hit path, and (b) hold at most their declared bound no matter how
+many — or how adversarial — the inputs, so a long simulation's memory
+stays flat.
+"""
+
+from repro.net.link import _WIRE_TIME_CACHE_MAX, wire_time_ns
+from repro.net import link as link_module
+from repro.sim.clock import Clock
+
+
+def test_cycles_to_ns_cache_tracks_distinct_inputs():
+    clock = Clock(800_000_000)
+    inputs = [3, 17, 96, 3, 17, 3]  # repeats must not grow the cache
+    for cycles in inputs * 1000:
+        clock.cycles_to_ns(cycles)
+    assert len(clock._ns_cache) == len(set(inputs))
+
+
+def test_cycles_to_ns_cache_is_bounded_and_exact_past_the_bound():
+    clock = Clock(777_000_001)  # awkward frequency: exercises rounding
+    n = clock.CACHE_MAX + 500
+    values = {cycles: clock.cycles_to_ns(cycles) for cycles in range(1, n)}
+    assert len(clock._ns_cache) <= clock.CACHE_MAX
+    # Entries past the bound are computed, not cached — same answers.
+    for cycles, ns in values.items():
+        assert clock.cycles_to_ns(cycles) == ns
+        # Exact ceiling-division oracle.
+        assert ns == -(-cycles * 1_000_000_000 // clock.hz)
+
+
+def test_wire_time_cache_tracks_distinct_inputs():
+    link_module._WIRE_TIME_CACHE.clear()
+    rates = (10_000_000_000, 100_000_000_000)
+    lengths = [64, 1500, 9000, 64, 1500]
+    for _ in range(1000):
+        for rate in rates:
+            for length in lengths:
+                wire_time_ns(rate, length)
+    cache = link_module._WIRE_TIME_CACHE
+    assert set(cache) == set(rates)
+    for rate in rates:
+        assert len(cache[rate]) == len(set(lengths))
+
+
+def test_wire_time_cache_is_bounded_and_exact_past_the_bound():
+    link_module._WIRE_TIME_CACHE.clear()
+    rate = 10_000_000_000
+    n = _WIRE_TIME_CACHE_MAX + 300
+    values = {length: wire_time_ns(rate, length) for length in range(1, n)}
+    assert len(link_module._WIRE_TIME_CACHE[rate]) <= _WIRE_TIME_CACHE_MAX
+    for length, ns in values.items():
+        assert wire_time_ns(rate, length) == ns
+    link_module._WIRE_TIME_CACHE.clear()  # leave no cross-test residue
