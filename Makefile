@@ -1,0 +1,38 @@
+# Developer entry points. Everything runs from the source tree (no
+# install needed); CI uses the same commands against the installed
+# package.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test lint lint-github baseline check-baseline certify bench-quick
+
+test:
+	$(PY) -m pytest -x -q
+
+# Gate on findings not present in the committed baseline (all passes:
+# xdp-verifier, xdp-deadcode, stage-race, atomicity, hb-race, ordering,
+# sim-process).
+lint:
+	$(PY) -m repro lint --baseline lint-baseline.json
+
+lint-github:
+	$(PY) -m repro lint --format=github --certify
+
+# Regenerate the committed lint baseline. Findings are deterministically
+# sorted, so this is a no-op unless the tree actually changed
+# (check-baseline asserts exactly that).
+baseline:
+	$(PY) -m repro lint --json > lint-baseline.json
+
+check-baseline:
+	$(PY) -m repro lint --json > lint-baseline.regen.json
+	cmp lint-baseline.json lint-baseline.regen.json
+	rm -f lint-baseline.regen.json
+
+# Export + independently re-check the proof-carrying XDP certificates
+# and the pipeline commutability certificate.
+certify:
+	$(PY) -m repro lint --certify
+
+bench-quick:
+	$(PY) -m repro bench --quick --no-out --no-history

@@ -32,9 +32,12 @@ import sys
 from repro.analysis.report import (
     PASS_ATOMIC,
     PASS_DEADCODE,
+    PASS_HB,
+    PASS_ORDER,
     PASS_XDP,
     Finding,
     diff_findings,
+    finding_sort_key,
     load_report,
     render_github,
     render_json,
@@ -115,6 +118,31 @@ def certify_builtins():
     return findings, certificates
 
 
+#: Key the pipeline commutability certificate is exported under; not a
+#: builtin XDP program, so the per-builtin stat lines skip it.
+COMMUTE_CERT_KEY = "pipeline-commute"
+
+
+def certify_pipeline():
+    """Export + re-check the pipeline commutability certificate."""
+    from repro.analysis.hbcert import (
+        CommuteCertError,
+        check_commute_certificate,
+        export_commute_certificate,
+    )
+
+    findings = []
+    cert = None
+    try:
+        cert = export_commute_certificate()
+        check_commute_certificate(cert)
+    except CommuteCertError as exc:
+        findings.append(
+            Finding(PASS_ORDER, "repro/flextoe/stages.py", 0, "certify-fail", str(exc))
+        )
+    return findings, cert
+
+
 def run_all(root=None):
     """Run every pass; returns ``(findings, checked)``."""
     from repro.analysis import simlint, stagelint
@@ -132,6 +160,15 @@ def run_all(root=None):
 
     findings.extend(stagelint.lint_atomicity(stage_paths))
     checked[PASS_ATOMIC] = len(stage_paths)
+
+    from repro.analysis import hblint
+
+    hb_model, hb_verdicts = hblint.field_verdicts(stage_paths)
+    findings.extend(hblint.lint_hb(verdicts=hb_verdicts))
+    checked[PASS_HB] = len(hb_verdicts)
+
+    findings.extend(hblint.lint_ordering(stage_paths))
+    checked[PASS_ORDER] = len(hb_model.stages)
 
     sim_findings = simlint.lint_tree(root)
     findings.extend(sim_findings)
@@ -198,17 +235,33 @@ def main(argv=None):
     if args.certify:
         cert_findings, certificates = certify_builtins()
         findings.extend(cert_findings)
-    findings.sort(key=lambda f: (f.pass_name, f.path, f.line))
+        commute_findings, commute_cert = certify_pipeline()
+        findings.extend(commute_findings)
+        if commute_cert is not None:
+            certificates[COMMUTE_CERT_KEY] = commute_cert
+    findings.sort(key=finding_sort_key)
     gating = findings
     if args.baseline is not None:
         gating = diff_findings(findings, load_report(args.baseline))
-        gating.sort(key=lambda f: (f.pass_name, f.path, f.line))
+        gating.sort(key=finding_sort_key)
     if fmt == "json":
         print(render_json(findings, checked, certificates=certificates))
     elif fmt == "github":
         print(render_github(gating))
         if args.certify and certificates is not None:
             for name in sorted(certificates):
+                if name == COMMUTE_CERT_KEY:
+                    cert = certificates[name]
+                    print(
+                        "::notice title=hb-certify::pipeline: {}/{} stage pairs, "
+                        "{}/{} HC-op pairs proven commutable".format(
+                            sum(1 for p in cert["stage_pairs"] if p["commute"]),
+                            len(cert["stage_pairs"]),
+                            sum(1 for p in cert["hc_pairs"] if p["commute"]),
+                            len(cert["hc_pairs"]),
+                        )
+                    )
+                    continue
                 stats = certificates[name].get("stats", {})
                 print(
                     "::notice title=xdp-certify::{}: {} insns, {}/{} memory guards elided".format(
@@ -228,6 +281,19 @@ def main(argv=None):
             )
         if args.certify and certificates is not None:
             for name in sorted(certificates):
+                if name == COMMUTE_CERT_KEY:
+                    cert = certificates[name]
+                    print(
+                        "certified pipeline: {}/{} stage pairs and {}/{} HC-op "
+                        "pairs commutable, {} fields judged".format(
+                            sum(1 for p in cert["stage_pairs"] if p["commute"]),
+                            len(cert["stage_pairs"]),
+                            sum(1 for p in cert["hc_pairs"] if p["commute"]),
+                            len(cert["hc_pairs"]),
+                            len(cert["fields"]),
+                        )
+                    )
+                    continue
                 stats = certificates[name].get("stats", {})
                 total = stats.get("mem_elided", 0) + stats.get("mem_retained", 0)
                 print(

@@ -1,0 +1,369 @@
+"""Digest-bound commutability certificate for the pipeline (§3.1-3.2).
+
+The happens-before analyzer (:mod:`repro.analysis.hblint`) proves which
+stage pairs and which host-control operations *commute* — the facts
+that justify FlexTOE's parallelism: replicated stages may interleave
+freely because their shared-state footprints never conflict, and
+window-update descriptors may be applied in any batch order because
+their state effects are commutative deltas. This module exports those
+facts as a machine-checkable certificate in the proof-carrying style of
+:mod:`repro.analysis.certificate`:
+
+* the certificate is **digest-bound** to the exact analyzed sources
+  (SHA-256 per file + the model version), so facts proven about one
+  tree are never applied to another;
+* :func:`check_commute_certificate` independently re-validates it:
+  base facts (field verdicts, per-op write classifications) are
+  recomputed from the sources and compared for exact equality, and the
+  derived pair facts are re-derived *from the certificate's own base
+  facts* with the checker's own rules — so a tampered ``commute`` bit
+  is rejected even when the base facts still match.
+
+Fact language
+-------------
+
+* **field facts** — per connection-state field touched by any stage:
+  the verdict (``immutable``/``owned``/``atomic``/``hb-race``) and the
+  stage kinds reading/writing it.
+* **stage-pair facts** — two stage kinds commute when no shared field
+  is an unresolved ``hb-race`` between them: their interleaving order
+  cannot be observed through connection state (ring/fence ordering is
+  a separate obligation, checked by the ordering pass).
+* **HC-op facts** — per host-control descriptor kind, the protocol
+  state writes of its :func:`repro.flextoe.proto_logic.process_hc`
+  branch, classified **delta** (``+=`` of descriptor-carried values),
+  **const** (a literal store, idempotent), or **absolute** (anything
+  whose value or guard depends on protocol state, including writes
+  absorbed from mutating ``state`` method calls). An op self-commutes
+  iff it has no absolute writes; two ops commute iff every field both
+  write is delta/delta or an equal const, and neither's absolute
+  writes intersect state the other reads or writes.
+"""
+
+import ast
+import hashlib
+import json
+import os
+
+from repro.analysis import hblint, stagelint
+
+#: Certificate format version; also bound into the digest.
+CERT_VERSION = hblint.MODEL_VERSION
+
+#: Host-control descriptor constant names recognized as op tags.
+_HC_PREFIX = "HC_"
+
+
+class CommuteCertError(Exception):
+    """The certificate does not match this tree's proven facts."""
+
+
+def _analyzed_paths(paths=None):
+    covered = list(paths or stagelint.default_paths())
+    state_path = stagelint._flextoe_path("state.py")
+    if state_path not in covered:
+        covered.append(state_path)
+    return covered
+
+
+def sources_digest(sources):
+    """SHA-256 binding the certificate to the exact analyzed sources."""
+    hasher = hashlib.sha256()
+    hasher.update("commute-cert v{}\n".format(CERT_VERSION).encode())
+    for source, filename in sorted(sources, key=lambda s: os.path.basename(s[1])):
+        file_sha = hashlib.sha256(source.encode()).hexdigest()
+        hasher.update("{} {}\n".format(os.path.basename(filename), file_sha).encode())
+    return hasher.hexdigest()
+
+
+# -- HC operation extraction ------------------------------------------------
+
+
+def _protocol_state_methods(state_source):
+    """``{method: (reads, writes)}`` over ``self.<attr>`` for ProtocolState.
+
+    Method-absorbed writes are always treated as absolute by the HC
+    classification: the callee's stores depend on state it read.
+    """
+    tree = ast.parse(state_source)
+    methods = {}
+    for node in tree.body:
+        if not (isinstance(node, ast.ClassDef) and node.name == "ProtocolState"):
+            continue
+        for function in node.body:
+            if not isinstance(function, ast.FunctionDef):
+                continue
+            reads = set()
+            writes = set()
+            for sub in ast.walk(function):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                ):
+                    if isinstance(sub.ctx, ast.Load):
+                        reads.add(sub.attr)
+                    else:
+                        writes.add(sub.attr)
+            methods[function.name] = (reads, writes)
+    return methods
+
+
+def _state_reads(node, state_name):
+    reads = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == state_name
+            and isinstance(sub.ctx, ast.Load)
+        ):
+            reads.add(sub.attr)
+    return reads
+
+
+def extract_hc_ops(proto_logic_source=None, state_source=None):
+    """Per-HC-op state-write classification from ``process_hc``.
+
+    Returns ``[{"op", "delta", "const", "absolute", "reads",
+    "self_commutes"}, ...]`` sorted by op name.
+    """
+    if proto_logic_source is None:
+        with open(stagelint._flextoe_path("proto_logic.py")) as handle:
+            proto_logic_source = handle.read()
+    if state_source is None:
+        with open(stagelint._flextoe_path("state.py")) as handle:
+            state_source = handle.read()
+    methods = _protocol_state_methods(state_source)
+    tree = ast.parse(proto_logic_source)
+    process_hc = None
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "process_hc":
+            process_hc = node
+            break
+    if process_hc is None:
+        raise CommuteCertError("proto_logic has no process_hc to certify")
+    state_name = process_hc.args.args[0].arg
+
+    ops = []
+    for statement in ast.walk(process_hc):
+        if not isinstance(statement, ast.If):
+            continue
+        test = statement.test
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and isinstance(test.left, ast.Attribute)
+            and test.left.attr == "kind"
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Name)
+            and test.comparators[0].id.startswith(_HC_PREFIX)
+        ):
+            continue
+        op = test.comparators[0].id
+        delta = set()
+        const = {}
+        absolute = set()
+        reads = set()
+        for node in statement.body:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.AugAssign):
+                    target = sub.target
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == state_name
+                    ):
+                        # A += whose operand reads protocol state is
+                        # order-sensitive; descriptor-carried deltas
+                        # are not.
+                        if _state_reads(sub.value, state_name):
+                            absolute.add(target.attr)
+                        else:
+                            delta.add(target.attr)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == state_name
+                        ):
+                            if isinstance(sub.value, ast.Constant):
+                                const[target.attr] = sub.value.value
+                            else:
+                                absolute.add(target.attr)
+                elif (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id == state_name
+                ):
+                    callee_reads, callee_writes = methods.get(sub.func.attr, (set(), {"?"}))
+                    reads |= callee_reads
+                    absolute |= callee_writes
+                elif (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == state_name
+                    and isinstance(sub.ctx, ast.Load)
+                ):
+                    reads.add(sub.attr)
+        # A method-call's func expression is itself an Attribute Load;
+        # keep only real field reads in the fact.
+        reads -= set(methods)
+        ops.append(
+            {
+                "op": op,
+                "delta": sorted(delta),
+                "const": {field: const[field] for field in sorted(const)},
+                "absolute": sorted(absolute),
+                "reads": sorted(reads),
+                "self_commutes": not absolute,
+            }
+        )
+    ops.sort(key=lambda entry: entry["op"])
+    return ops
+
+
+def _hc_pair_commutes(a, b):
+    """Write-effect commutativity of two HC ops (checker's own rule)."""
+    writes_a = set(a["delta"]) | set(a["const"]) | set(a["absolute"])
+    writes_b = set(b["delta"]) | set(b["const"]) | set(b["absolute"])
+    for field in writes_a & writes_b:
+        if field in a["delta"] and field in b["delta"]:
+            continue
+        if field in a["const"] and field in b["const"] and a["const"][field] == b["const"][field]:
+            continue
+        return False
+    # An op with absolute writes computed *from* state must not see the
+    # other op's writes (order would change its stored values/guards).
+    if a["absolute"] and (set(a["reads"]) & writes_b):
+        return False
+    if b["absolute"] and (set(b["reads"]) & writes_a):
+        return False
+    return True
+
+
+def _hc_pair_facts(ops):
+    pairs = []
+    for i, a in enumerate(ops):
+        for b in ops[i + 1:]:
+            pairs.append({"a": a["op"], "b": b["op"], "commute": _hc_pair_commutes(a, b)})
+    return pairs
+
+
+# -- stage facts ------------------------------------------------------------
+
+
+def _field_facts(verdicts):
+    facts = []
+    for (partition, attr) in sorted(verdicts):
+        verdict, footprint = verdicts[(partition, attr)]
+        facts.append(
+            {
+                "partition": partition,
+                "field": attr,
+                "verdict": verdict,
+                "writers": sorted(footprint["writes"]),
+                "readers": sorted(footprint["reads"]),
+            }
+        )
+    return facts
+
+
+def _stage_pair_facts(model, field_facts):
+    """Commutability per stage-kind pair, derived from the field facts."""
+    kinds = sorted({stage.kind for stage in model.stages.values()})
+    pairs = []
+    for i, a in enumerate(kinds):
+        for b in kinds[i + 1:]:
+            conflicts = []
+            for fact in field_facts:
+                if fact["verdict"] != hblint.VERDICT_RACE:
+                    continue
+                touched = set(fact["writers"]) | set(fact["readers"])
+                if a in touched and b in touched and {a, b} & set(fact["writers"]):
+                    conflicts.append("{}.{}".format(fact["partition"], fact["field"]))
+            pairs.append({"a": a, "b": b, "commute": not conflicts, "conflicts": conflicts})
+    return pairs
+
+
+# -- export + check ---------------------------------------------------------
+
+
+def export_commute_certificate(paths=None):
+    """Prove and export the commutability facts for the given sources."""
+    covered = _analyzed_paths(paths)
+    sources = []
+    for path in covered:
+        with open(path) as handle:
+            sources.append((handle.read(), path))
+    by_name = {os.path.basename(filename): source for source, filename in sources}
+    model, verdicts = hblint.field_verdicts(
+        [path for path in covered if os.path.basename(path) != "state.py"]
+    )
+    field_facts = _field_facts(verdicts)
+    ops = extract_hc_ops(by_name.get("proto_logic.py"), by_name.get("state.py"))
+    return {
+        "version": CERT_VERSION,
+        "digest": sources_digest(sources),
+        "files": {
+            os.path.basename(filename): hashlib.sha256(source.encode()).hexdigest()
+            for source, filename in sources
+        },
+        "model": model.to_jsonable(),
+        "fields": field_facts,
+        "stage_pairs": _stage_pair_facts(model, field_facts),
+        "hc_ops": ops,
+        "hc_pairs": _hc_pair_facts(ops),
+    }
+
+
+def check_commute_certificate(cert, paths=None):
+    """Independently re-validate a commutability certificate.
+
+    Three layers, any failure raises :class:`CommuteCertError`:
+
+    1. **binding** — version and source digest must match this tree;
+    2. **base facts** — field verdicts and HC-op classifications are
+       recomputed from the sources and compared for exact equality;
+    3. **derivations** — the pair facts are re-derived from the
+       *certificate's own* base facts with the checker's rules, so a
+       flipped ``commute`` bit fails even alongside intact base facts.
+    """
+    fresh = export_commute_certificate(paths)
+    if cert.get("version") != CERT_VERSION:
+        raise CommuteCertError(
+            "certificate version {!r} != {}".format(cert.get("version"), CERT_VERSION)
+        )
+    if cert.get("digest") != fresh["digest"]:
+        raise CommuteCertError("certificate was proven about different sources (digest mismatch)")
+    for section in ("files", "model", "fields", "hc_ops"):
+        if cert.get(section) != fresh[section]:
+            raise CommuteCertError(
+                "certificate {} facts do not match the analyzed sources".format(section)
+            )
+    rederived_pairs = _stage_pair_facts(
+        hblint.extract_model(
+            [
+                (source, path)
+                for path, source in (
+                    (p, open(p).read())
+                    for p in _analyzed_paths(paths)
+                    if os.path.basename(p) != "state.py"
+                )
+            ]
+        ),
+        cert["fields"],
+    )
+    if cert.get("stage_pairs") != rederived_pairs:
+        raise CommuteCertError("stage-pair commutability facts do not follow from the field facts")
+    if cert.get("hc_pairs") != _hc_pair_facts(cert["hc_ops"]):
+        raise CommuteCertError("HC-pair commutability facts do not follow from the op facts")
+    return True
+
+
+def certificate_json(cert):
+    """Canonical JSON rendering (the CI artifact)."""
+    return json.dumps(cert, indent=2, sort_keys=True)

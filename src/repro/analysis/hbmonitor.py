@@ -1,0 +1,237 @@
+"""Runtime validation of the static happens-before model (REPRO_SANITIZE).
+
+:mod:`repro.analysis.hblint` proves, from the AST, that the pipeline's
+per-connection ordering devices (queue FIFO order, sequencer tickets,
+chain fences, the notification-before-ACK write-ahead rule) order every
+cross-stage access. This monitor closes the loop at runtime: under
+``REPRO_SANITIZE=1`` the pipelined datapath attaches passive taps to the
+inter-stage rings and context queues and checks every *observed*
+interleaving against the same model, so the analysis and the simulator
+differentially test each other — a fence deleted from the code fails the
+lint, and a fence that exists in the code but not in fact (a logic bug
+the AST extraction believed) fails here.
+
+The monitor is strictly passive: taps fire synchronously inside existing
+puts/deliveries, create no simulation events and charge no cycles, so
+golden wire digests are byte-identical with it enabled.
+
+Checks
+------
+
+* **model edges** — every ring enqueue must come from a producer stage
+  the static stage graph names for that ring (owner tokens come from the
+  ownership sanitizer's process wrapping).
+* **per-connection protocol order** — works enter ``dma_ring`` in the
+  same per-connection order the protocol stage emitted them (the
+  ``post_chain`` fence's contract, §3.1.3).
+* **notification order** — notifications enter ``ctx_ring`` in the
+  per-connection order the DMA stage received them (``dma_rx_chain``),
+  and reach ``nic_deliver`` in per-context ``ctx_ring`` order
+  (``_arx_chain``).
+* **write-ahead rule** — an ACK frame recorded as riding a segment with
+  notifications is never offered to the NBI sequencer before every one
+  of those notifications is host-visible.
+"""
+
+from repro.analysis import sanitizer
+
+
+class HBViolationError(sanitizer.SanitizerError):
+    """An observed interleaving contradicts the static HB model."""
+
+
+#: ring attribute -> owner tokens allowed to enqueue (stage kinds from
+#: the static stage graph; ``gro``/``seqr`` are the reorder-buffer
+#: delivery processes). ``None`` owners (control plane, test scaffolding)
+#: are never checked — the invariant is about data-path stages.
+EDGE_PRODUCERS = {
+    "proto": ("pre", "gro"),
+    "post": ("proto",),
+    "dma": ("post",),
+    "ctx": ("dma",),
+    "nbi": ("seqr",),
+}
+
+
+class _OrderBook:
+    """Per-key expected FIFO order with search-pop semantics.
+
+    ``expect(key, item)`` records that ``item`` should eventually arrive
+    for ``key``; ``arrive(key, item)`` pops entries until ``item`` is
+    found (entries popped on the way were legitimately filtered out of
+    the stream — e.g. works that produced nothing to emit). An arriving
+    item *not* in the book means an earlier arrival already consumed
+    past it: the stream was reordered.
+    """
+
+    __slots__ = ("_queues",)
+
+    def __init__(self):
+        self._queues = {}
+
+    def expect(self, key, item):
+        self._queues.setdefault(key, []).append(item)
+
+    def arrive(self, key, item):
+        queue = self._queues.get(key)
+        if queue is None:
+            return False
+        for index, entry in enumerate(queue):
+            if entry is item:
+                del queue[: index + 1]
+                if not queue:
+                    del self._queues[key]
+                return True
+        # Not found: either reordered past, or never expected (e.g. a
+        # control-plane notification). Leave the book untouched so one
+        # stray arrival cannot poison later checks.
+        return False
+
+    def forget(self, key):
+        self._queues.pop(key, None)
+
+
+class HbMonitor:
+    """Taps a pipelined datapath and validates interleavings live."""
+
+    def __init__(self, dp):
+        self.dp = dp
+        self.checked_puts = 0
+        # Protocol-order book: post_rings put (proto order, the proto
+        # stage serializes per connection) -> dma_ring put.
+        self._proto_order = _OrderBook()
+        # Notification books: dma_ring put -> ctx_ring put (per conn),
+        # ctx_ring put -> nic_deliver (per context).
+        self._notif_order = _OrderBook()
+        self._ctx_order = _OrderBook()
+        # Write-ahead rule: id(ack frame) -> (frame, [notifications]);
+        # the entry pins the objects so ids stay valid until checked.
+        self._ack_requirements = {}
+        self._awaited = set()  # notification ids some ACK waits on
+        self._delivered = set()
+        self._install()
+
+    # -- wiring --------------------------------------------------------------
+
+    def _install(self):
+        dp = self.dp
+        for ring in dp.post_rings:
+            ring.tap = self._make_tap("post", self._on_post_put)
+        dp.dma_ring.tap = self._make_tap("dma", self._on_dma_put)
+        dp.ctx_ring.tap = self._make_tap("ctx", self._on_ctx_put)
+        dp.nbi_ring.tap = self._make_tap("nbi", None)
+        for ring in dp.proto_rings:
+            ring.tap = self._make_tap("proto", None)
+        for pair in dp.contexts.values():
+            self.watch_context(pair)
+        # The NBI sequencer's offer is the wire-commit point for ACKs
+        # (the ticket decides wire order); wrap it for the write-ahead
+        # check. Instance attribute shadows the bound method.
+        original_offer = dp.nbi_gro.offer
+
+        def checked_offer(frame, _orig=original_offer):
+            self._on_wire_commit(frame)
+            return _orig(frame)
+
+        dp.nbi_gro.offer = checked_offer
+
+    def _make_tap(self, edge, handler):
+        allowed = EDGE_PRODUCERS[edge]
+
+        def tap(item):
+            if self.dp.crashed:
+                return
+            self.checked_puts += 1
+            owner = sanitizer.current_owner()
+            if owner is not None and owner[0] not in allowed:
+                raise HBViolationError(
+                    "hb-monitor: stage '{}' enqueued into the {} ring; the "
+                    "static stage graph allows only {}".format(
+                        owner[0], edge, "/".join(allowed)
+                    )
+                )
+            if handler is not None:
+                handler(item)
+
+        return tap
+
+    def watch_context(self, pair):
+        pair.add_tap(self._on_ctx_event)
+
+    def forget_conn(self, conn_index):
+        self._proto_order.forget(conn_index)
+        self._notif_order.forget(conn_index)
+
+    # -- checks --------------------------------------------------------------
+
+    def _on_post_put(self, work):
+        if work.conn_index is not None:
+            self._proto_order.expect(work.conn_index, work)
+
+    def _on_dma_put(self, work):
+        conn = work.conn_index
+        if conn is None:
+            return
+        if not self._proto_order.arrive(conn, work):
+            raise HBViolationError(
+                "hb-monitor: {!r} entered dma_ring out of per-connection "
+                "protocol order (conn {}): the post_chain fence contract "
+                "(§3.1.3) was violated".format(work, conn)
+            )
+        notifications = work.notify or ()
+        for notification in notifications:
+            self._notif_order.expect(conn, notification)
+        if notifications and work.ack_frame is not None:
+            self._ack_requirements[id(work.ack_frame)] = (
+                work.ack_frame,
+                list(notifications),
+            )
+            for notification in notifications:
+                self._awaited.add(id(notification))
+
+    def _on_ctx_put(self, notification):
+        if not self._notif_order.arrive(notification.conn_index, notification):
+            raise HBViolationError(
+                "hb-monitor: {!r} entered ctx_ring out of per-connection "
+                "DMA-completion order (conn {}): the dma_rx_chain fence "
+                "(§3.1.3) was violated".format(notification, notification.conn_index)
+            )
+        self._ctx_order.expect(notification.context_id, notification)
+
+    def _on_ctx_event(self, kind, item):
+        if kind != "notify" or self.dp.crashed:
+            return
+        # Control-plane notifications (NOTIFY_ERROR from the recovery
+        # timers) bypass the pipeline and its ordering contract.
+        if not self._ctx_order.arrive(item.context_id, item):
+            if item.error is not None:
+                return
+            raise HBViolationError(
+                "hb-monitor: {!r} delivered out of per-context ctx_ring "
+                "order (context {}): the ARX chain fence was violated".format(
+                    item, item.context_id
+                )
+            )
+        if id(item) in self._awaited:
+            self._delivered.add(id(item))
+
+    def _on_wire_commit(self, frame):
+        if self.dp.crashed:
+            return
+        entry = self._ack_requirements.pop(id(frame), None)
+        if entry is None:
+            return
+        _frame, notifications = entry
+        for notification in notifications:
+            key = id(notification)
+            if key not in self._delivered:
+                # A context that was never registered cannot deliver;
+                # the rule is about host-visible notifications.
+                if self.dp.contexts.get(notification.context_id) is not None:
+                    raise HBViolationError(
+                        "hb-monitor: ACK frame committed to the wire before "
+                        "its segment's {!r} was host-visible: write-ahead "
+                        "rule violated (crash recovery unsound)".format(notification)
+                    )
+            self._awaited.discard(key)
+            self._delivered.discard(key)

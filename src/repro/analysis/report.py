@@ -20,8 +20,12 @@ PASS_STAGE = "stage-race"
 PASS_SIM = "sim-process"
 PASS_ATOMIC = "atomicity"
 PASS_DEADCODE = "xdp-deadcode"
+PASS_HB = "hb-race"
+PASS_ORDER = "ordering"
 
-REPORT_VERSION = 2
+# v3: adds the hb-race and ordering passes and the deterministic
+# finding sort (pass, path, line, code, message) within the document.
+REPORT_VERSION = 3
 
 
 class Finding:
@@ -54,6 +58,16 @@ class Finding:
 
     def __eq__(self, other):
         return isinstance(other, Finding) and self.to_dict() == other.to_dict()
+
+
+def finding_sort_key(finding):
+    """Deterministic report order: (pass, path, line, code, message).
+
+    Line alone is not a total order — two passes can anchor distinct
+    findings to the same line — and an unstable tail order would make
+    baseline regeneration churn. CI asserts regeneration is a no-op.
+    """
+    return (finding.pass_name, finding.path, finding.line, finding.code, finding.message)
 
 
 def render_text(findings):

@@ -42,10 +42,16 @@ PROTO_STAGE = "proto"
 POST_STAGE = "post"
 
 _OWNER_STACK = []
-# id(state) -> (flow_group, state). The strong reference pins the object
-# so ids cannot be recycled while registered; entries are dropped on
-# unregister (connection removal) or uninstall.
+# (partition class, slab slot) -> flow_group. Keyed by storage identity,
+# not view identity: partition views are flyweights a
+# ConnectionRecord.compact() can shed and lazily recreate, and the
+# recreated view must reattach to the same ownership token. Entries are
+# dropped on unregister (connection removal) or uninstall. Objects
+# without a slab slot (plain duck-typed state in tests) fall back to
+# id() keys, pinned by a strong reference in _ID_PINS.
 _REGISTRY = {}
+_ID_PINS = {}
+_MISSING = object()
 _installed = False
 # class -> original __setattr__, for uninstall.
 _original_setattrs = {}
@@ -127,14 +133,24 @@ def install():
         (ProtocolState, _check_proto),
         (PostprocState, _check_post),
     )
+    # Slot-keyed registrations must not outlive the slot: when a
+    # connection record is garbage collected its slab slot recycles, and
+    # a stale entry would pin the old ownership onto the next tenant.
+    from repro.flextoe.state import CONN_SLAB
+
+    CONN_SLAB.on_free = _forget_slot
+
     for cls, check in checks:
         original = cls.__setattr__
         _original_setattrs[cls] = original
 
         def _guarded_setattr(self, name, value, _original=original, _check=check):
-            entry = _REGISTRY.get(id(self))
-            if entry is not None and entry[1] is self:
-                _check(self, name, entry[0])
+            # Underscored names are the flyweight binding machinery
+            # (_i/_own in SlabView.view()), not partition data.
+            if not name.startswith("_"):
+                owning_group = _REGISTRY.get(_registry_key(self), _MISSING)
+                if owning_group is not _MISSING:
+                    _check(self, name, owning_group)
             _original(self, name, value)
 
         cls.__setattr__ = _guarded_setattr
@@ -146,21 +162,47 @@ def uninstall():
     global _installed
     if not _installed:
         return
+    from repro.flextoe.state import CONN_SLAB
+
+    CONN_SLAB.on_free = None
     for cls, original in _original_setattrs.items():
         cls.__setattr__ = original
     _original_setattrs.clear()
     _installed = False
     _REGISTRY.clear()
+    _ID_PINS.clear()
     del _OWNER_STACK[:]
 
 
+def _forget_slot(slot):
+    for cls in list(_original_setattrs):
+        _REGISTRY.pop((cls, slot), None)
+
+
+def _registry_key(state):
+    slot = getattr(state, "_i", None)
+    if slot is None:
+        return (type(state), "id", id(state))
+    return (type(state), slot)
+
+
 def register(state, flow_group):
-    """Declare ``state`` owned by ``flow_group`` (at connection install)."""
-    _REGISTRY[id(state)] = (flow_group, state)
+    """Declare ``state`` owned by ``flow_group`` (at connection install).
+
+    Ownership attaches to the slab slot, so every view of that slot —
+    including views recreated after :meth:`ConnectionRecord.compact`
+    sheds the cached ones — carries the same token.
+    """
+    key = _registry_key(state)
+    _REGISTRY[key] = flow_group
+    if key[1] == "id":
+        _ID_PINS[key] = state  # keep the id from being recycled
 
 
 def unregister(state):
-    _REGISTRY.pop(id(state), None)
+    key = _registry_key(state)
+    _REGISTRY.pop(key, None)
+    _ID_PINS.pop(key, None)
 
 
 def current_owner():

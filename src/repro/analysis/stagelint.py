@@ -189,6 +189,7 @@ class FunctionInfo:
         "filename",
         "params",
         "reads",
+        "reads_at",
         "writes",
         "calls",
     )
@@ -201,6 +202,7 @@ class FunctionInfo:
         self.filename = filename
         self.params = params  # positional parameter names, 'self' excluded
         self.reads = set()  # (token, attr)
+        self.reads_at = set()  # (token, attr, lineno) — hblint needs sites
         self.writes = set()  # (token, attr, lineno, rmw)
         self.calls = []  # (lineno, callee name, arg tokens, is_self_call)
 
@@ -218,6 +220,7 @@ class _FunctionAccess(ast.NodeVisitor):
         self.ownership = ownership
         self.role = role
         self.reads = set()  # (token, attr)
+        self.reads_at = set()  # (token, attr, lineno)
         self.writes = set()  # (token, attr, lineno, rmw)
         self.calls = []  # (lineno, name, args, is_self_call)
         # Local names currently aliasing a partition object or parameter.
@@ -246,6 +249,7 @@ class _FunctionAccess(ast.NodeVisitor):
             self.writes.add((token, target.attr, target.lineno, rmw))
         else:
             self.reads.add((token, target.attr))
+            self.reads_at.add((token, target.attr, target.lineno))
 
     def _reads_back(self, value, token, attr):
         """Does ``value`` read ``token.attr`` (an in-place update)?"""
@@ -327,6 +331,7 @@ def _collect_function(function, role, ownership, qualname, class_name, filename)
         collector.visit(statement)
     info = FunctionInfo(qualname, function.name, class_name, role, filename, positional)
     info.reads = collector.reads
+    info.reads_at = collector.reads_at
     info.writes = collector.writes
     info.calls = collector.calls
     return info
@@ -427,6 +432,58 @@ def summarize(program):
     for qualname in program:
         summary(qualname)
     return memo, cycles
+
+
+def summarize_reads(program):
+    """Bottom-up transitive *read* summaries per function.
+
+    Mirrors :func:`summarize` for load sites: returns
+    ``{qualname: frozenset((token, attr, lineno, filename, chain))}``
+    with the same param-binding substitution and cycle cuts. The
+    happens-before lint (:mod:`repro.analysis.hblint`) needs read
+    footprints — a stale read through a helper is as racy as a write.
+    """
+    memo = {}
+    on_stack = []
+
+    def summary(qualname):
+        cached = memo.get(qualname)
+        if cached is not None:
+            return cached
+        if qualname in on_stack:
+            return frozenset()
+        info = program[qualname]
+        on_stack.append(qualname)
+        try:
+            entries = {
+                (token, attr, lineno, info.filename, ())
+                for token, attr, lineno in info.reads_at
+            }
+            for _lineno, name, args, is_self_call in info.calls:
+                for callee in _resolve_call(program, info, name, is_self_call):
+                    if callee.qualname == qualname:
+                        continue
+                    for token, attr, rline, rfile, chain in summary(callee.qualname):
+                        if len(chain) >= MAX_CHAIN_DEPTH:
+                            continue
+                        if isinstance(token, str) and token.startswith(_PARAM_PREFIX):
+                            formal = token[len(_PARAM_PREFIX):]
+                            if formal not in callee.params:
+                                continue
+                            position = callee.params.index(formal)
+                            token = args[position] if position < len(args) else None
+                        if not isinstance(token, str):
+                            continue
+                        entries.add((token, attr, rline, rfile, (callee.qualname,) + chain))
+        finally:
+            on_stack.pop()
+        result = frozenset(entries)
+        memo[qualname] = result
+        return result
+
+    for qualname in program:
+        summary(qualname)
+    return memo
 
 
 def _ownership_rule(qualname, role, class_name, partition, attr):

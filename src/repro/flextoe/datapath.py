@@ -52,6 +52,16 @@ class _TxTriggerAdapter:
 class FlexToeDatapath:
     """The wired pipeline on a given NFP chip."""
 
+    #: Static pipeline-model anchors, parsed by repro.analysis.hblint.
+    #: Sequencer domain -> the reorder buffer that restores its order.
+    SEQR_DOMAINS = {"rx_seqr": "rx_gro", "nbi_seqr": "nbi_gro"}
+    #: Rings whose enqueue order is a delivery-order contract, and the
+    #: key the contract is per: per-connection for dma_ring (§3.1.3),
+    #: per-context for ctx_ring (notification order is libTOE's stream
+    #: order). nbi_ring is deliberately absent: wire-level reordering is
+    #: TCP-tolerated, and the NBI GRO already restores ticket order.
+    ORDERED_RINGS = {"dma_ring": "conn", "ctx_ring": "context"}
+
     def __init__(self, sim, chip, config, capture=None, ingress_modules=None, egress_modules=None, control_ring=None):
         self.sim = sim
         self.chip = chip
@@ -135,6 +145,15 @@ class FlexToeDatapath:
         sanitizer.maybe_install_from_env()
         self._assign_fpcs()
         self._spawn_heartbeats()
+        self.hb_monitor = None
+        if sanitizer.enabled() and config.pipelined:
+            # Differential check of the static happens-before model
+            # against observed interleavings (passive ring taps; no sim
+            # events, so golden digests are unchanged). RTC mode runs
+            # every stage inline on one thread — nothing to order.
+            from repro.analysis.hbmonitor import HbMonitor
+
+            self.hb_monitor = HbMonitor(self)
         self.mac.rx_handler = self._on_mac_rx
 
     # -- construction ------------------------------------------------------
@@ -385,7 +404,7 @@ class FlexToeDatapath:
     def _route_to_protocol(self, work):
         ring = self.proto_rings[work.flow_group]
         if not ring.try_put(work):
-            ring.store.force_put(work)
+            ring.force_put(work)
 
     def make_frame(self, eth, ip, tcp):
         return Frame(eth, ip=ip, tcp=tcp, born_at=self.sim.now)
@@ -408,11 +427,15 @@ class FlexToeDatapath:
     def register_context(self, context_id, capacity=1024):
         pair = ContextQueuePair(self.sim, context_id, capacity=capacity)
         self.contexts[context_id] = pair
+        if self.hb_monitor is not None:
+            self.hb_monitor.watch_context(pair)
         return pair
 
     def adopt_context(self, pair):
         """Re-bind an existing (host-memory) queue pair after a reboot."""
         self.contexts[pair.context_id] = pair
+        if self.hb_monitor is not None:
+            self.hb_monitor.watch_context(pair)
 
     def post_hc(self, context_id, descriptor):
         """libTOE helper: append a descriptor and ring the doorbell."""
@@ -435,6 +458,8 @@ class FlexToeDatapath:
         record = self.conn_table.remove(index)
         self.dma_rx_chain.pop(index, None)
         self.post_chain.pop(index, None)
+        if self.hb_monitor is not None:
+            self.hb_monitor.forget_conn(index)
         if record is not None:
             self.lookup_engine.remove(record.four_tuple)
             self.scheduler.remove_flow(index)

@@ -21,7 +21,12 @@ one column:
   sentinel, and rare non-integer values (tests pass MAC bytes / dotted
   IP strings) spill into a per-column overflow dict keyed by slot.
   Inline integers must sit above ``_SENT_FLOOR``; anything else spills.
-* ``FLAG`` — an ``array('q')`` column read back as real ``bool``.
+* ``FLAG`` — an ``array('b')`` column read back as real ``bool``.
+* ``U8`` / ``U16`` — ``array('B')`` / ``array('H')`` narrow unsigned
+  columns for ports, flow groups and small saturating counters. No
+  sentinels and no overflow: the declared range *is* the invariant
+  (Table 5 stores these as 1–2 hardware bytes), so an out-of-range
+  write raises immediately instead of silently widening.
 * ``OBJ`` — a plain list column for reference fields (host memory
   regions, opaque app handles, snapshot dicts).
 
@@ -60,7 +65,17 @@ from array import array
 
 INT = "int"
 FLAG = "flag"
+U8 = "u8"
+U16 = "u16"
 OBJ = "obj"
+
+#: array typecode per scalar kind (OBJ columns are plain lists).
+_TYPECODES = {INT: "q", FLAG: "b", U8: "B", U16: "H"}
+
+#: storage bytes per slot for one column of each kind. OBJ is charged
+#: one machine word (the CPython list cell), matching what a hardware
+#: layout would spend on a handle.
+_KIND_BYTES = {INT: 8, FLAG: 1, U8: 1, U16: 2, OBJ: 8}
 
 #: Inline int values must be strictly above this floor; the space below
 #: is reserved for sentinels. (No protocol field comes near -2**60.)
@@ -87,6 +102,7 @@ class Slab:
         "high_water",
         "columns",
         "overflow",
+        "on_free",
         "_free",
         "_next",
     )
@@ -98,7 +114,7 @@ class Slab:
         for field_name, kind in self.fields:
             if field_name in seen:
                 raise ValueError("duplicate slab field {!r}".format(field_name))
-            if kind not in (INT, FLAG, OBJ):
+            if kind not in _KIND_BYTES:
                 raise ValueError("unknown slab kind {!r}".format(kind))
             seen.add(field_name)
         self.capacity = 0
@@ -108,8 +124,12 @@ class Slab:
         self.overflow = {}  # INT columns only: slot -> spilled value
         self._free = []  # LIFO, so slot reuse is deterministic
         self._next = 0
+        # Optional observer called with the slot id on every free(); the
+        # race sanitizer uses it to drop ownership registrations before
+        # the slot can be recycled for an unrelated connection.
+        self.on_free = None
         for field_name, kind in self.fields:
-            self.columns[field_name] = [] if kind == OBJ else array("q")
+            self.columns[field_name] = [] if kind == OBJ else array(_TYPECODES[kind])
             if kind == INT:
                 self.overflow[field_name] = {}
         self._grow(max(1, initial))
@@ -147,6 +167,8 @@ class Slab:
                 ovf.pop(slot, None)
         self.live -= 1
         self._free.append(slot)
+        if self.on_free is not None:
+            self.on_free(slot)
 
     def column_view(self, field_name):
         """Zero-copy ``memoryview`` of a scalar (INT/FLAG) column."""
@@ -156,8 +178,8 @@ class Slab:
         return memoryview(column)
 
     def bytes_per_slot(self):
-        """Storage cost of one slot across all columns (8 B per column)."""
-        return 8 * len(self.fields)
+        """Storage cost of one slot across all columns."""
+        return sum(_KIND_BYTES[kind] for _name, kind in self.fields)
 
     def stats(self):
         return {
@@ -203,6 +225,21 @@ def _flag_property(column):
 
     def fset(self, value):
         column[self._i] = 1 if value else 0
+
+    return property(fget, fset)
+
+
+def _narrow_property(column, field_name):
+    def fget(self):
+        return column[self._i]
+
+    def fset(self, value):
+        # The array enforces the declared range; surface the field name
+        # because the OverflowError alone only mentions the typecode.
+        try:
+            column[self._i] = value
+        except (OverflowError, TypeError) as exc:
+            raise type(exc)("{}: {}".format(field_name, exc)) from None
 
     return property(fget, fset)
 
@@ -276,6 +313,8 @@ def attach_fields(cls, slab, kinds=None):
             prop = _int_property(column, slab.overflow[field_name])
         elif kind == FLAG:
             prop = _flag_property(column)
+        elif kind in (U8, U16):
+            prop = _narrow_property(column, field_name)
         else:
             prop = _obj_property(column)
         setattr(cls, field_name, prop)

@@ -39,6 +39,10 @@ class PreStage:
     """Pre-processing: Val / Id / Sum / Steer, plus TX Alloc/Head and HC
     steering. Replicated freely; RX order restored by the GRO."""
 
+    #: Static pipeline-model anchors, parsed by repro.analysis.hblint.
+    STAGE_KIND = "pre"
+    REPLICATED = True
+
     def __init__(self, dp, replica_id=0):
         self.dp = dp
         self.replica_id = replica_id
@@ -183,6 +187,10 @@ class ProtocolStage:
     fetches; per-connection processing order is preserved with a busy
     map, keeping the stage atomic and in-order per connection while
     still hiding memory latency (the paper's design exactly)."""
+
+    STAGE_KIND = "proto"
+    REPLICATED = False  # one FPC per flow group
+    SERIALIZES_PER_CONN = True  # the _busy map: per-conn program order
 
     def __init__(self, dp, flow_group, state_cache):
         self.dp = dp
@@ -340,6 +348,11 @@ class ProtocolStage:
         snapshot.tx = result
         snapshot.fs_sendable = state.flight_limit()
         snapshot.window = result.window
+        # Timestamp echo for the outgoing segment is sampled *here*, in
+        # the atomic protocol stage — the DMA stage stamps headers but
+        # must not read protocol state (Table 5 partitioning; a read at
+        # DMA time would race the next RX's next_ts update).
+        snapshot.echo_ts = state.next_ts
         trace.hit(dp.sim.now, "proto", "tx.segment")
         dp.nbi_seqr.assign(work)
         return True
@@ -375,6 +388,9 @@ class _LatencyLevel:
 class PostStage:
     """Post-processing: Ack / Stamp / Stats / Pos, FS updates, and
     notification allocation. Replicated freely (read-only app state)."""
+
+    STAGE_KIND = "post"
+    REPLICATED = True
 
     def __init__(self, dp, flow_group, replica_id=0):
         self.dp = dp
@@ -528,6 +544,9 @@ class DmaStage:
     Ordering rule (§3.1.3): payload DMA completes before either the peer
     ACK leaves the NIC or libTOE sees the notification."""
 
+    STAGE_KIND = "dma"
+    REPLICATED = True
+
     def __init__(self, dp, replica_id=0):
         self.dp = dp
         self.replica_id = replica_id
@@ -624,25 +643,20 @@ class DmaStage:
             frame.ip.total_len = frame.ip.wire_len + frame.tcp.wire_len + len(frame.payload)
             if dp.config.use_timestamps:
                 frame.tcp.options = TcpOptions(
-                    ts_val=now_us(dp.sim), ts_ecr=record.proto.next_ts
+                    ts_val=now_us(dp.sim), ts_ecr=work.snapshot.echo_ts
                 )
             frame.pipeline_seq = work.pipeline_seq
             self.payload_ops += 1
             dp.nbi_gro.offer(frame)
         else:
-            # HC work never reaches the DMA stage. Same write-ahead rule
-            # as the RX path: an ACK follows its notifications to the
-            # host before it may leave the NIC.
+            # HC work carries no payload and — because the protocol
+            # stage's HC path never produces acked_bytes/notify_rx/fin —
+            # no notifications either; the post stage only forwards it
+            # here when a window-update ACK must leave the NIC. Its NBI
+            # ordering ticket was taken at the protocol stage.
             ack_frame = work.ack_frame
             if ack_frame is not None:
                 ack_frame.pipeline_seq = work.pipeline_seq
-            notifications = work.notify or ()
-            if notifications and ack_frame is not None:
-                notifications[-1].piggyback_ack = ack_frame
-                ack_frame = None
-            for notification in notifications:
-                yield dp.ctx_ring.put(notification)
-            if ack_frame is not None:
                 dp.nbi_gro.offer(ack_frame)
 
     def _release_ctm(self, work):
@@ -654,6 +668,9 @@ class DmaStage:
 
 class NbiStage:
     """Drains the (reordered) NBI ring onto the wire; runs egress hooks."""
+
+    STAGE_KIND = "nbi"
+    REPLICATED = False
 
     def __init__(self, dp):
         self.dp = dp
@@ -692,6 +709,9 @@ class NbiStage:
 class CtxStage:
     """Context-queue FPCs: ARX (notifications to host) and ATX (doorbells
     to HC work)."""
+
+    STAGE_KIND = "ctx"
+    REPLICATED = True  # several ARX hardware threads drain ctx_ring
 
     def __init__(self, dp):
         self.dp = dp

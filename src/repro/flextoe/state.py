@@ -23,7 +23,7 @@ which the static atomicity lint checks and which :func:`atomic_add` uses
 to charge the engine's issue latency in the simulator.
 """
 
-from repro.flextoe.slab import FLAG, INT, OBJ, Slab, SlabView, attach_fields
+from repro.flextoe.slab import FLAG, INT, OBJ, U8, U16, Slab, SlabView, attach_fields
 from repro.nfp.memory import LAT_ATOMIC_ADD
 from repro.proto.tcp import seq_add
 
@@ -341,10 +341,10 @@ class ConnectionRecord(SlabView):
 
         For connections installed quiescent (no traffic in flight) this
         trades three per-connection view objects for a recreate on first
-        touch. Note the race sanitizer registers view objects at install
-        time; views recreated after compact() are simply unregistered —
-        their writes are treated as scratch state, which is the
-        tolerance the sanitizer already extends."""
+        touch. The race sanitizer keys its ownership registry by slab
+        slot, not view identity, so a view recreated after compact()
+        reattaches to the same ownership token the control plane
+        registered at install."""
         self._pre = None
         self._proto = None
         self._post = None
@@ -366,6 +366,15 @@ _CONN_KINDS = {
     "opaque": OBJ,
     "rx_region": OBJ,
     "tx_region": OBJ,
+    # Narrow columns (Table 5 stores these as 1-2 hardware bytes):
+    # ports are 16-bit by definition, flow groups index a small config
+    # table, dupack_cnt is clamped to 15 by the protocol logic and
+    # cnt_fretx saturates at 255 via atomic_add(maximum=255).
+    "local_port": U16,
+    "remote_port": U16,
+    "flow_group": U16,
+    "dupack_cnt": U8,
+    "cnt_fretx": U8,
 }
 
 CONN_SLAB = Slab(

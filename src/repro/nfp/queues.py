@@ -19,21 +19,37 @@ from repro.nfp.memory import LAT_CLS, LAT_EMEM, LAT_IMEM
 class ClsRing:
     """A bounded ring in island-local CLS memory."""
 
-    __slots__ = ("store", "access_latency", "name")
+    __slots__ = ("store", "access_latency", "name", "tap")
 
     def __init__(self, sim, capacity=64, name="cls-ring"):
         self.store = Store(sim, capacity=capacity, name=name)
         self.access_latency = LAT_CLS
         self.name = name
+        # Optional enqueue observer (``tap(item)``), fired synchronously
+        # before the item enters the store. Used by the happens-before
+        # runtime monitor (repro.analysis.hbmonitor); None in production,
+        # so the cost is one attribute check per put.
+        self.tap = None
 
     def put(self, item):
+        if self.tap is not None:
+            self.tap(item)
         return self.store.put(item)
 
     def get(self):
         return self.store.get()
 
     def try_put(self, item):
-        return self.store.try_put(item)
+        accepted = self.store.try_put(item)
+        if accepted and self.tap is not None:
+            self.tap(item)
+        return accepted
+
+    def force_put(self, item):
+        """Unconditional enqueue past the capacity bound (overflow path)."""
+        if self.tap is not None:
+            self.tap(item)
+        return self.store.force_put(item)
 
     def __len__(self):
         return len(self.store)
@@ -46,22 +62,34 @@ class ClsRing:
 class WorkQueue:
     """An IMEM- or EMEM-backed work queue (cross-island, work-stealing)."""
 
-    __slots__ = ("store", "access_latency", "backing", "name")
+    __slots__ = ("store", "access_latency", "backing", "name", "tap")
 
     def __init__(self, sim, capacity=None, name="work-queue", backing="imem"):
         self.store = Store(sim, capacity=capacity, name=name)
         self.access_latency = LAT_IMEM if backing == "imem" else LAT_EMEM
         self.backing = backing
         self.name = name
+        self.tap = None  # see ClsRing.tap
 
     def put(self, item):
+        if self.tap is not None:
+            self.tap(item)
         return self.store.put(item)
 
     def get(self):
         return self.store.get()
 
     def try_put(self, item):
-        return self.store.try_put(item)
+        accepted = self.store.try_put(item)
+        if accepted and self.tap is not None:
+            self.tap(item)
+        return accepted
+
+    def force_put(self, item):
+        """Unconditional enqueue past the capacity bound (overflow path)."""
+        if self.tap is not None:
+            self.tap(item)
+        return self.store.force_put(item)
 
     def __len__(self):
         return len(self.store)

@@ -1,0 +1,112 @@
+"""Commutability certificate: export, independent check, tamper rejection."""
+
+import copy
+
+import pytest
+
+from repro.analysis import hbcert
+
+
+@pytest.fixture(scope="module")
+def cert():
+    return hbcert.export_commute_certificate()
+
+
+def test_certificate_round_trips_through_checker(cert):
+    assert hbcert.check_commute_certificate(cert)
+
+
+def test_hc_window_updates_are_proven_commutative(cert):
+    ops = {entry["op"]: entry for entry in cert["hc_ops"]}
+    # The batched-descriptor facts (§3.1.1): window updates are pure
+    # descriptor-carried deltas, so batch application order is free.
+    assert ops["HC_TX_UPDATE"]["self_commutes"]
+    assert ops["HC_RX_UPDATE"]["self_commutes"]
+    assert ops["HC_TX_UPDATE"]["delta"] == ["tx_avail"]
+    assert ops["HC_RX_UPDATE"]["delta"] == ["rx_avail"]
+    # Probe/retransmit rewrite state from state: order-sensitive.
+    assert not ops["HC_PROBE"]["self_commutes"]
+    assert not ops["HC_RETRANSMIT"]["self_commutes"]
+    pairs = {(p["a"], p["b"]): p["commute"] for p in cert["hc_pairs"]}
+    assert pairs[("HC_RX_UPDATE", "HC_TX_UPDATE")]
+    assert not pairs[("HC_PROBE", "HC_TX_UPDATE")]
+
+
+def test_all_stage_pairs_commute_at_baseline(cert):
+    assert cert["stage_pairs"], "no stage pairs certified"
+    assert all(pair["commute"] for pair in cert["stage_pairs"])
+    assert all(pair["conflicts"] == [] for pair in cert["stage_pairs"])
+
+
+def test_digest_binds_certificate_to_sources(cert):
+    tampered = copy.deepcopy(cert)
+    tampered["digest"] = "0" * 64
+    with pytest.raises(hbcert.CommuteCertError, match="digest"):
+        hbcert.check_commute_certificate(tampered)
+
+
+def test_version_mismatch_is_rejected(cert):
+    tampered = copy.deepcopy(cert)
+    tampered["version"] = hbcert.CERT_VERSION + 1
+    with pytest.raises(hbcert.CommuteCertError, match="version"):
+        hbcert.check_commute_certificate(tampered)
+
+
+def _leaf_mutations(node, path=()):
+    """Every (path, mutated value) for each scalar/list leaf in a fact."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from _leaf_mutations(value, path + (key,))
+    elif isinstance(node, list):
+        if all(not isinstance(item, (dict, list)) for item in node):
+            yield path, node + ["__tampered__"]
+            if node:
+                yield path, node[:-1]
+        else:
+            for index, item in enumerate(node):
+                yield from _leaf_mutations(item, path + (index,))
+    elif isinstance(node, bool):
+        yield path, not node
+    elif isinstance(node, int):
+        yield path, node + 1
+    elif isinstance(node, str):
+        yield path, node + "x"
+    elif node is None:
+        yield path, "__tampered__"
+
+
+def _apply(cert, path, value):
+    mutated = copy.deepcopy(cert)
+    target = mutated
+    for key in path[:-1]:
+        target = target[key]
+    target[path[-1]] = value
+    return mutated
+
+
+def test_every_single_fact_mutation_is_rejected(cert):
+    mutations = list(_leaf_mutations({k: cert[k] for k in ("fields", "stage_pairs", "hc_ops", "hc_pairs", "model", "files")}))
+    assert len(mutations) > 50  # the sweep is real, not vacuous
+    for path, value in mutations:
+        tampered = _apply(cert, path, value)
+        with pytest.raises(hbcert.CommuteCertError):
+            hbcert.check_commute_certificate(tampered)
+
+
+def test_checker_rederives_pair_facts_independently(cert):
+    # Flip one commute bit while leaving every base fact intact: the
+    # checker's own derivation logic must catch it (not just equality
+    # against a fresh export).
+    tampered = copy.deepcopy(cert)
+    tampered["hc_pairs"][0]["commute"] = not tampered["hc_pairs"][0]["commute"]
+    with pytest.raises(hbcert.CommuteCertError, match="HC-pair"):
+        hbcert.check_commute_certificate(tampered)
+    tampered = copy.deepcopy(cert)
+    tampered["stage_pairs"][0]["commute"] = not tampered["stage_pairs"][0]["commute"]
+    with pytest.raises(hbcert.CommuteCertError, match="stage-pair"):
+        hbcert.check_commute_certificate(tampered)
+
+
+def test_certificate_json_is_canonical(cert):
+    rendered = hbcert.certificate_json(cert)
+    assert rendered == hbcert.certificate_json(hbcert.export_commute_certificate())

@@ -85,5 +85,5 @@ def test_load_report_round_trip(tmp_path):
     path = tmp_path / "report.json"
     path.write_text(render_json([_finding()], {"stage-race": 6}))
     document = load_report(str(path))
-    assert document["version"] == 2
+    assert document["version"] == 3
     assert document["summary"]["checked"]["stage-race"] == 6

@@ -198,6 +198,93 @@ def test_uninstall_restores_all_partition_classes(sanitized):
     sanitizer.install()  # restore for the fixture's uninstall
 
 
+def _installed_record(index=0, flow_group=2):
+    from repro.flextoe.state import ConnectionRecord
+
+    record = ConnectionRecord(
+        index, ("10.0.0.1", "10.0.0.2", 1000, 2000), b"\x01" * 6, "10.0.0.1"
+    )
+    sanitizer.register(record.pre, flow_group)
+    sanitizer.register(record.proto, flow_group)
+    sanitizer.register(record.post, flow_group)
+    return record
+
+
+def test_guard_survives_compact(sanitized):
+    # compact() sheds the cached partition views; the views lazily
+    # recreated on next access are *different objects* on the *same
+    # slab slot* and must reattach to the registered ownership token.
+    record = _installed_record(flow_group=2)
+    before = record.proto
+    record.compact()
+    after = record.proto
+    assert after is not before
+
+    def rogue_stage():
+        record.proto.seq = 99
+        yield "unreached"
+
+    with pytest.raises(sanitizer.SanitizerError, match="only the atomic protocol stage"):
+        _run_wrapped(rogue_stage, "pre")
+    with pytest.raises(sanitizer.SanitizerError, match="immutable"):
+        record.pre.local_port = 4242
+
+    def owner():
+        record.proto.seq = 7
+        yield "ok"
+
+    assert _run_wrapped(owner, "proto", flow_group=2) == "ok"
+    assert record.proto.seq == 7
+
+
+def test_unregister_after_compact_drops_the_guard(sanitized):
+    # Teardown unregisters through freshly recreated views (the cached
+    # ones are gone); the slot keying makes that equivalent.
+    record = _installed_record(index=1, flow_group=0)
+    record.compact()
+    sanitizer.unregister(record.pre)
+    sanitizer.unregister(record.proto)
+    sanitizer.unregister(record.post)
+
+    def pre_stage():
+        record.proto.seq = 1
+        yield "ok"
+
+    assert _run_wrapped(pre_stage, "pre") == "ok"
+
+
+def test_sibling_partitions_share_the_slot_without_sharing_tokens(sanitized):
+    # pre/proto/post are three views of ONE slab slot; registration is
+    # per partition class, so guarding proto does not guard post.
+    record = _installed_record(index=2, flow_group=1)
+    sanitizer.unregister(record.post)
+    record.compact()
+
+    def pre_stage():
+        record.post.cnt_ackb = 1  # unregistered partition: scratch
+        yield "ok"
+
+    assert _run_wrapped(pre_stage, "pre") == "ok"
+    with pytest.raises(sanitizer.SanitizerError, match="immutable"):
+        record.pre.flow_group = 3
+
+
+def test_slot_recycling_does_not_inherit_stale_ownership(sanitized):
+    # A record abandoned without explicit unregister (a dropped testbed)
+    # frees its slab slot; the next connection recycling that slot must
+    # start unguarded, not inherit the dead connection's registration.
+    from repro.flextoe.state import ConnectionRecord
+
+    record = _installed_record(index=3, flow_group=3)
+    slot = record.slab_slot
+    del record  # refcount drop frees the slot, no unregister call
+    fresh = ConnectionRecord(
+        4, ("10.0.0.1", "10.0.0.9", 1, 2), b"\x01" * 6, "10.0.0.1"
+    )
+    assert fresh.slab_slot == slot  # LIFO free list recycles
+    fresh.pre.peer_mac = b"\x09" * 6  # would raise "immutable" if stale
+
+
 def test_end_to_end_flextoe_run_is_clean(sanitized):
     # A real echo RPC exchange over the sanitized pipeline: every stage
     # process is wrapped, connection state is registered at offload, and
