@@ -7,14 +7,20 @@
   binary protocol (the §2.1/§5.1 application).
 * :mod:`repro.apps.memtier` — a memtier-style closed-loop KV load
   generator (32-byte keys and values, persistent connections).
+* :mod:`repro.apps.attackgen` — deterministic adversarial traffic
+  (SYN flood, churn, RST storms, request floods, incast).
 """
 
+from repro.apps.attackgen import Attacker, AttackLog, attack_interval_ns
 from repro.apps.echo import EchoServer, run_echo_server
 from repro.apps.memcached import MemcachedServer, decode_request, encode_request, encode_response
 from repro.apps.memtier import MemtierClient
 from repro.apps.rpc import ClosedLoopClient, OpenLoopClient
 
 __all__ = [
+    "AttackLog",
+    "Attacker",
+    "attack_interval_ns",
     "ClosedLoopClient",
     "EchoServer",
     "MemcachedServer",

@@ -37,6 +37,9 @@ QUICK_MATRIX = (
     "xdp-filter-interp",
     "connscale-10k",
     "connscale-100k",
+    "attack-synflood",
+    "attack-churn",
+    "attack-incast",
 )
 
 
@@ -322,3 +325,36 @@ def connscale_1m(quick=False):
     # Not in QUICK_MATRIX: minutes of wall time. Run explicitly with
     #   python -m repro bench --scenario connscale-1m
     return _connscale(1_000_000, shards=8)
+
+
+@scenario(
+    "attack-synflood",
+    "benign goodput under a 10:1 spoofed SYN flood, defense off vs on",
+    repeats=1,
+)
+def attack_synflood(quick=False):
+    from repro.bench.attack import run_attack_scenario
+
+    return run_attack_scenario("synflood", quick)
+
+
+@scenario(
+    "attack-churn",
+    "open/RST churn burning buffers and slab slots, defense off vs on",
+    repeats=1,
+)
+def attack_churn(quick=False):
+    from repro.bench.attack import run_attack_scenario
+
+    return run_attack_scenario("churn", quick)
+
+
+@scenario(
+    "attack-incast",
+    "spoofed junk incast and control-plane RST reflection, defense off vs on",
+    repeats=1,
+)
+def attack_incast(quick=False):
+    from repro.bench.attack import run_attack_scenario
+
+    return run_attack_scenario("incast", quick)

@@ -14,13 +14,18 @@ CLOSING = "closing"
 class EstablishedInfo:
     """What the control plane hands libTOE when a connection is ready."""
 
-    __slots__ = ("conn_index", "four_tuple", "rx_buffer", "tx_buffer")
+    __slots__ = ("conn_index", "four_tuple", "rx_buffer", "tx_buffer", "token")
 
-    def __init__(self, conn_index, four_tuple, rx_buffer, tx_buffer):
+    def __init__(self, conn_index, four_tuple, rx_buffer, tx_buffer, token=None):
         self.conn_index = conn_index
         self.four_tuple = four_tuple
         self.rx_buffer = rx_buffer
         self.tx_buffer = tx_buffer
+        # Per-establishment generation token (the NIC's ``opaque``):
+        # connection indices are reused after teardown, and a
+        # notification already queued for the previous tenant of an
+        # index must not be delivered to its successor's socket.
+        self.token = token
 
 
 class Listener:
@@ -33,6 +38,19 @@ class Listener:
         self.ready = []
         self.waiters = []
         self.dropped_overflow = 0
+        # SYNs refused because the backlog (ready + embryonic) was full.
+        self.syn_dropped = 0
+        # Server-side handshakes in SYN_RCVD charged against this
+        # listener's backlog (only under the deferred-accept defense).
+        self.embryonic = 0
+
+    def backlog_full(self):
+        """True when a new SYN may not be admitted: no accept() waiter
+        is parked and the accept queue plus half-open handshakes already
+        fill the backlog."""
+        if self.waiters:
+            return False
+        return len(self.ready) + self.embryonic >= self.backlog
 
     def deliver(self, info):
         if self.waiters:
@@ -60,6 +78,8 @@ class PendingConnection:
         "last_sent_at",
         "attempts",
         "remote_win",
+        "created_at",
+        "embryonic",
     )
 
     def __init__(self, state, four_tuple, iss, ctx=None, listener=None, waiter=None):
@@ -74,6 +94,10 @@ class PendingConnection:
         self.last_sent_at = 0
         self.attempts = 0
         self.remote_win = 0xFFFF
+        self.created_at = 0
+        # True while counted against the embryonic budget (server-side
+        # deferred accept only); cleared when the pending goes away.
+        self.embryonic = False
 
 
 class ConnectionDirectory:

@@ -11,7 +11,19 @@ server side completes accept() when the SYN-ACK is sent rather than on
 the final handshake ACK — the data-path state is installed alongside the
 SYN-ACK so early data is handled; a lost SYN-ACK is covered by the
 client's SYN retransmission.
+
+That simplification is also the SYN-flood attack surface: every SYN
+buys 512KB of host buffers plus a CONN_SLAB slot before the peer has
+proven liveness. ``ControlPlaneConfig(syn_defense_enabled=True)``
+switches the server side to overload-safe three-way handshakes: SYNs
+park in a bounded embryonic table (half-open reaper, backlog charge)
+and the data path is installed only on the final handshake ACK; past
+the embryonic budget the plane answers with stateless SYN cookies so
+legitimate clients still connect while the flood costs us nothing.
 """
+
+import struct
+import zlib
 
 from repro.control.cc.dctcp import Dctcp
 from repro.control.cc.base import CcStats
@@ -72,6 +84,12 @@ class ControlPlaneConfig:
         watchdog_miss_threshold=3,
         snapshot_interval_ns=250_000,
         reboot_delay_ns=100_000,
+        syn_defense_enabled=False,
+        embryonic_limit=64,
+        half_open_timeout_ns=4_000_000,
+        syn_cookie_secret=0x5EED_CAFE,
+        challenge_ack_limit=3,
+        challenge_ack_interval_ns=1_000_000,
     ):
         self.rx_buffer_size = rx_buffer_size
         self.tx_buffer_size = tx_buffer_size
@@ -90,6 +108,16 @@ class ControlPlaneConfig:
         self.watchdog_miss_threshold = watchdog_miss_threshold
         self.snapshot_interval_ns = snapshot_interval_ns
         self.reboot_delay_ns = reboot_delay_ns
+        # Overload defense (off by default: the legacy accept-on-SYN-ACK
+        # fast path stays byte-identical unless a host opts in).
+        self.syn_defense_enabled = syn_defense_enabled
+        self.embryonic_limit = embryonic_limit
+        self.half_open_timeout_ns = half_open_timeout_ns
+        self.syn_cookie_secret = syn_cookie_secret
+        # RFC 5961 challenge-ACK rate limit (responses per interval,
+        # shared with RSTs answering segments for unknown connections).
+        self.challenge_ack_limit = challenge_ack_limit
+        self.challenge_ack_interval_ns = challenge_ack_interval_ns
 
 
 class ControlPlane:
@@ -124,11 +152,23 @@ class ControlPlane:
         self.directory = ConnectionDirectory()
         self._iss_counter = 10_000
         self._ephemeral_port = 40_000
+        self._conn_token = 0
         self.retransmits_posted = 0
         self.probes_posted = 0
         self.syn_retransmits = 0
         self.aborts = 0
         self.resets_received = 0
+        # Overload-defense counters.
+        self.syn_dropped = 0
+        self.cookies_sent = 0
+        self.cookies_validated = 0
+        self.embryonic_reaped = 0
+        self.challenge_acks = 0
+        self.challenge_acks_limited = 0
+        #: server-side handshakes currently parked in SYN_RCVD.
+        self.embryonic = 0
+        self._challenge_window_start = 0
+        self._challenge_window_count = 0
         self.recovery = None
         sim.process(self._rx_loop(), name="cp-rx")
         sim.process(self._timer_loop(), name="cp-timer")
@@ -281,9 +321,28 @@ class ControlPlane:
         if tcp.flags & FLAG_SYN and tcp.flags & FLAG_ACK:
             self._handle_syn_ack(frame)
             return
-        # Stray data-path segment for an unknown connection: RST it so
-        # the peer tears down (unless it is a bare duplicate handshake ACK).
         if tcp.flags & FLAG_ACK and not frame.payload:
+            if self._complete_handshake(frame):
+                return
+            # Bare duplicate handshake ACK for a live connection: ignore.
+            four = (self.local_ip, frame.ip.src, tcp.dport, tcp.sport)
+            if self.directory.lookup(four) is not None:
+                return
+            if self.config.syn_defense_enabled:
+                # RFC 793: an ACK for a connection we know nothing about
+                # gets RST(seq=SEG.ACK) — but through the RFC 5961 rate
+                # limiter, so an ACK storm cannot make us amplify it.
+                if self._challenge_allowed():
+                    self.challenge_acks += 1
+                    self._send_rst(frame)
+                return
+            return
+        # Stray data-path segment for an unknown connection: RST it so
+        # the peer tears down. Under the deferred-accept defense the
+        # final handshake ACK may ride on the first data segment (or the
+        # data may simply outrun it through the slow path) — complete
+        # the handshake and let the peer's RTO resend the payload.
+        if self._complete_handshake(frame):
             return
         self._send_rst(frame)
 
@@ -332,12 +391,55 @@ class ControlPlane:
         if not self.policy.admit(len(self.directory)):
             self._send_rst(frame)
             return
+        if listener.backlog_full():
+            # listen(backlog=...) means what it says: past the bound,
+            # excess SYNs are silently dropped (the peer's SYN
+            # retransmission retries once accept() drains the queue).
+            listener.syn_dropped += 1
+            self.syn_dropped += 1
+            return
+        config = self.config
+        if config.syn_defense_enabled and self.embryonic >= config.embryonic_limit:
+            # Embryonic budget spent: fall back to a stateless SYN
+            # cookie. The SYN-ACK encodes the four-tuple in its ISN; no
+            # pending entry, no buffers, no slab slot until the peer
+            # echoes the cookie back in its handshake ACK.
+            self.cookies_sent += 1
+            irs = (frame.tcp.seq + 1) & 0xFFFFFFFF
+            self.arp_table.setdefault(frame.ip.src, frame.eth.src)
+            syn_ack = make_tcp_frame(
+                self.local_mac,
+                frame.eth.src,
+                self.local_ip,
+                frame.ip.src,
+                port,
+                frame.tcp.sport,
+                seq=self._syn_cookie(four, irs),
+                ack=irs,
+                flags=FLAG_SYN | FLAG_ACK,
+                window=0xFFFF,
+                options=self._syn_options(),
+                born_at=self.sim.now,
+            )
+            self._control_tx(syn_ack)
+            return
         pending = PendingConnection(SYN_RCVD, four, self._next_iss(), listener=listener)
         pending.irs = (frame.tcp.seq + 1) & 0xFFFFFFFF
         pending.peer_mac = frame.eth.src
         pending.remote_win = frame.tcp.window
         self.arp_table.setdefault(frame.ip.src, frame.eth.src)
         self.pending[four] = pending
+        if config.syn_defense_enabled:
+            # Overload-safe path: park in the embryonic table and wait
+            # for the final handshake ACK before installing any
+            # data-path state. The half-open reaper bounds how long a
+            # silent peer can hold the slot.
+            pending.created_at = self.sim.now
+            pending.embryonic = True
+            self.embryonic += 1
+            listener.embryonic += 1
+            self._send_syn_ack(pending)
+            return
         self._send_syn_ack(pending)
         # Install the data-path state now (see module docstring).
         self._establish(pending)
@@ -365,6 +467,7 @@ class ControlPlane:
         four = (self.local_ip, frame.ip.src, frame.tcp.dport, frame.tcp.sport)
         pending = self.pending.pop(four, None)
         if pending is not None:
+            self._note_pending_gone(pending)
             if pending.waiter is not None and not pending.waiter.triggered:
                 pending.waiter.fail(
                     ConnectRefusedError(
@@ -373,14 +476,19 @@ class ControlPlane:
                 )
             return
         # RST against an *established* connection: validate the sequence
-        # against our receive window (blind-RST hardening, RFC 5961
-        # spirit) and tear the offload state down.
+        # against our receive window (blind-RST hardening, RFC 5961).
         entry = self.directory.lookup(four)
         if entry is None:
             return
         proto = entry.record.proto
         offset = (frame.tcp.seq - proto.ack) & 0xFFFFFFFF
         if offset >= max(1, proto.rx_avail):
+            return
+        if offset != 0:
+            # In-window but not an exact rcv_nxt match: RFC 5961 §3.2
+            # says challenge-ACK instead of tearing down, so a blind RST
+            # storm has to hit one exact sequence number per connection.
+            self._send_challenge_ack(entry)
             return
         self.resets_received += 1
         self._teardown_entry(entry, "reset")
@@ -434,6 +542,108 @@ class ControlPlane:
         )
         self._control_tx(rst)
 
+    # -- overload defense ---------------------------------------------------
+
+    def _challenge_allowed(self):
+        """RFC 5961 §7 ACK-throttling: at most ``challenge_ack_limit``
+        challenge responses per ``challenge_ack_interval_ns`` window."""
+        config = self.config
+        now = self.sim.now
+        if now - self._challenge_window_start >= config.challenge_ack_interval_ns:
+            self._challenge_window_start = now
+            self._challenge_window_count = 0
+        if self._challenge_window_count >= config.challenge_ack_limit:
+            self.challenge_acks_limited += 1
+            return False
+        self._challenge_window_count += 1
+        return True
+
+    def _send_challenge_ack(self, entry):
+        if not self._challenge_allowed():
+            return
+        self.challenge_acks += 1
+        proto = entry.record.proto
+        frame = self._tcp_frame(
+            entry.record.pre.peer_mac,
+            entry.record.four_tuple,
+            seq=proto.seq,
+            ack=proto.ack,
+            flags=FLAG_ACK,
+            window=advertised_window(proto),
+        )
+        self._control_tx(frame)
+
+    def _syn_cookie(self, four_tuple, irs):
+        """Stateless SYN-cookie ISN for ``four_tuple``: everything the
+        final handshake ACK echoes back (its ack-1) plus a secret, so we
+        can validate it without having kept any per-SYN state."""
+        local_ip, remote_ip, local_port, remote_port = four_tuple
+        material = struct.pack(
+            ">IIHHII",
+            local_ip & 0xFFFFFFFF,
+            remote_ip & 0xFFFFFFFF,
+            local_port & 0xFFFF,
+            remote_port & 0xFFFF,
+            irs & 0xFFFFFFFF,
+            self.config.syn_cookie_secret & 0xFFFFFFFF,
+        )
+        return zlib.crc32(material) & 0xFFFFFFFF
+
+    def _note_pending_gone(self, pending):
+        """Release the embryonic charge when a SYN_RCVD pending leaves
+        the table for any reason (established, reset, reaped, retried
+        out)."""
+        if not pending.embryonic:
+            return
+        pending.embryonic = False
+        self.embryonic -= 1
+        if pending.listener is not None:
+            pending.listener.embryonic -= 1
+
+    def _complete_handshake(self, frame):
+        """Final handshake ACK at the server: establish a parked
+        embryonic connection, or validate a stateless SYN cookie.
+
+        Returns True when the frame was consumed. With the defense off
+        this never fires — SYN_RCVD pendings are established on the
+        SYN-ACK and the cookie path is gated on the config flag."""
+        tcp = frame.tcp
+        if not tcp.flags & FLAG_ACK:
+            return False
+        four = (self.local_ip, frame.ip.src, tcp.dport, tcp.sport)
+        pending = self.pending.get(four)
+        if pending is not None and pending.state == SYN_RCVD:
+            if tcp.ack != ((pending.iss + 1) & 0xFFFFFFFF):
+                return False
+            pending.remote_win = tcp.window
+            self._establish(pending)
+            return True
+        if not self.config.syn_defense_enabled:
+            return False
+        if self.directory.lookup(four) is not None:
+            return False
+        listener = self.listeners.get(tcp.dport)
+        if listener is None:
+            return False
+        # Cookie validation: the peer's ack is our SYN-ACK ISN + 1 and
+        # its seq is the irs the cookie was minted over.
+        irs = tcp.seq & 0xFFFFFFFF
+        iss = (tcp.ack - 1) & 0xFFFFFFFF
+        if iss != self._syn_cookie(four, irs):
+            return False
+        if listener.backlog_full():
+            listener.syn_dropped += 1
+            self.syn_dropped += 1
+            return True
+        pending = PendingConnection(SYN_RCVD, four, iss, listener=listener)
+        pending.irs = irs
+        pending.peer_mac = frame.eth.src
+        pending.remote_win = tcp.window
+        self.arp_table.setdefault(frame.ip.src, frame.eth.src)
+        self.cookies_validated += 1
+        self._establish(pending)
+        return True
+
     def _send_syn(self, pending):
         syn = self._tcp_frame(
             pending.peer_mac,
@@ -465,9 +675,15 @@ class ControlPlane:
 
     def _establish(self, pending):
         self.pending.pop(pending.four_tuple, None)
+        self._note_pending_gone(pending)
         rx_buffer, tx_buffer = self._alloc_buffers()
         index = self.nic.allocate_connection_index()
         ctx = pending.ctx if pending.ctx is not None else pending.listener.ctx
+        # The NIC's opaque handle doubles as a generation token: unique
+        # per establishment, so libTOE can discard notifications still
+        # queued for an earlier connection that used the same index.
+        self._conn_token += 1
+        token = self._conn_token
         record = self.nic.offload_connection(
             index=index,
             four_tuple=pending.four_tuple,
@@ -476,7 +692,7 @@ class ControlPlane:
             iss=(pending.iss + 1) & 0xFFFFFFFF,
             irs=pending.irs,
             context_id=ctx.context_id,
-            opaque=index,
+            opaque=token,
             rx_buffer=rx_buffer.as_triple(),
             tx_buffer=tx_buffer.as_triple(),
             remote_win=pending.remote_win << WINDOW_SCALE,
@@ -493,7 +709,7 @@ class ControlPlane:
                 snd_iss=(pending.iss + 1) & 0xFFFFFFFF,
                 rcv_irs=pending.irs,
             )
-        info = EstablishedInfo(index, pending.four_tuple, rx_buffer, tx_buffer)
+        info = EstablishedInfo(index, pending.four_tuple, rx_buffer, tx_buffer, token=token)
         if pending.waiter is not None:
             pending.waiter.succeed(info)
         elif pending.listener is not None:
@@ -517,12 +733,24 @@ class ControlPlane:
                 # abort thresholds.
                 continue
             now = self.sim.now
-            # Handshake retransmissions.
+            # Handshake retransmissions (and the half-open reaper).
             for pending in list(self.pending.values()):
+                if (
+                    pending.embryonic
+                    and now - pending.created_at > config.half_open_timeout_ns
+                ):
+                    # Half-open reaper: a peer that SYNs and goes silent
+                    # only holds an embryonic slot for the timeout, not
+                    # for max_syn_retries worth of SYN-ACK RTOs.
+                    self.pending.pop(pending.four_tuple, None)
+                    self._note_pending_gone(pending)
+                    self.embryonic_reaped += 1
+                    continue
                 if now - pending.last_sent_at < config.syn_rto_ns:
                     continue
                 if pending.attempts >= config.max_syn_retries:
                     self.pending.pop(pending.four_tuple, None)
+                    self._note_pending_gone(pending)
                     if pending.waiter is not None and not pending.waiter.triggered:
                         remote_ip, remote_port = pending.four_tuple[1], pending.four_tuple[3]
                         pending.waiter.fail(

@@ -88,6 +88,11 @@ def counters_snapshot(testbed):
             entry["syn_retransmits"] = control.syn_retransmits
             entry["aborts"] = control.aborts
             entry["resets_received"] = control.resets_received
+            entry["syn_dropped"] = control.syn_dropped
+            entry["cookies_sent"] = control.cookies_sent
+            entry["cookies_validated"] = control.cookies_validated
+            entry["embryonic_reaped"] = control.embryonic_reaped
+            entry["challenge_acks"] = control.challenge_acks
             recovery = getattr(control, "recovery", None)
             if recovery is not None:
                 entry["watchdog_fired"] = recovery.watchdog_fired

@@ -161,6 +161,7 @@ class ProtoSnapshot:
         "tx",
         "free_descriptor",
         "send_window_update",
+        "nbi_seq",
     )
 
     def __init__(self, kind):
@@ -184,6 +185,11 @@ class ProtoSnapshot:
         self.tx = None
         self.free_descriptor = False
         self.send_window_update = False
+        # NBI ordering ticket, when one was taken at the protocol stage.
+        # A later stage dropping this work (connection torn down while
+        # the segment was in flight) must nbi_gro.skip() it, or the
+        # reorder buffer stalls every subsequent egress frame.
+        self.nbi_seq = None
 
 
 class HeaderSummary:

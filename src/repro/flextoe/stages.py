@@ -320,7 +320,7 @@ class ProtocolStage:
         if snapshot.send_ack:
             # The ACK will leave the NIC: take its NBI ordering ticket
             # here, in protocol-processing order (§3.2, example 3).
-            dp.nbi_seqr.assign(work)
+            snapshot.nbi_seq = dp.nbi_seqr.assign(work)
         # The inbound frame is consumed here; drop the reference so the
         # payload is not retained past the one-shot access.
         work.frame = None
@@ -354,7 +354,7 @@ class ProtocolStage:
         # DMA time would race the next RX's next_ts update).
         snapshot.echo_ts = state.next_ts
         trace.hit(dp.sim.now, "proto", "tx.segment")
-        dp.nbi_seqr.assign(work)
+        snapshot.nbi_seq = dp.nbi_seqr.assign(work)
         return True
 
     def _process_hc(self, thread, work, record, state, snapshot):
@@ -371,7 +371,7 @@ class ProtocolStage:
             snapshot.ack_ack = state.ack
             snapshot.window = proto_logic.advertised_window(state)
             snapshot.echo_ts = state.next_ts
-            dp.nbi_seqr.assign(work)
+            snapshot.nbi_seq = dp.nbi_seqr.assign(work)
 
 
 class _LatencyLevel:
@@ -438,8 +438,19 @@ class PostStage:
         record = dp.conn_table.get(work.conn_index)
         snapshot = work.snapshot
         if record is None:
+            # The connection was torn down while this work was between
+            # the protocol and post stages (rapid connect/close churn
+            # makes this race real). Free everything the work still
+            # holds — most importantly its NBI ordering ticket, without
+            # which the reorder buffer stalls all later egress frames.
             if snapshot.free_descriptor:
                 dp.release_descriptor()
+            if snapshot.nbi_seq is not None:
+                dp.nbi_gro.skip(snapshot.nbi_seq)
+            if work.frame is not None:
+                grant = work.frame.get_meta("ctm_grant")
+                if grant is not None:
+                    grant.release()
             return False
         post = record.post
         cycles = costs.post_stats
@@ -573,6 +584,11 @@ class DmaStage:
         costs = dp.config.costs
         record = dp.conn_table.get(work.conn_index)
         if record is None:
+            # Torn down mid-pipeline: drop the segment, but release the
+            # NBI ordering ticket taken at the protocol stage or every
+            # later egress frame stalls in the reorder buffer.
+            if work.snapshot is not None and work.snapshot.nbi_seq is not None:
+                dp.nbi_gro.skip(work.snapshot.nbi_seq)
             self._release_ctm(work)
             return
         post = record.post

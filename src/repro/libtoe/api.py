@@ -60,11 +60,16 @@ class ToeSocket:
         "bytes_sent",
         "bytes_received",
         "error",
+        "token",
     )
 
-    def __init__(self, ctx, conn_index, four_tuple, rx_buffer, tx_buffer):
+    def __init__(self, ctx, conn_index, four_tuple, rx_buffer, tx_buffer, token=None):
         self.ctx = ctx
         self.conn_index = conn_index
+        # Establishment generation (mirrors the NIC's opaque handle);
+        # used to reject notifications left over from a previous
+        # connection that occupied the same index.
+        self.token = token
         self.four_tuple = four_tuple
         self.rx_buffer = rx_buffer
         self.tx_buffer = tx_buffer
@@ -98,6 +103,11 @@ class LibToeContext:
         self.pair = nic.register_context(context_id)
         self.sockets = {}
         self.epolls = []
+        # Notifications that arrived before their connection was adopted
+        # (data can land while the connection sits in the accept queue)
+        # or after its index was reallocated; keyed by conn_index and
+        # drained — generation-filtered — at adoption time.
+        self._parked = {}
 
     # -- connection setup ---------------------------------------------------
 
@@ -109,8 +119,12 @@ class LibToeContext:
             established.four_tuple,
             established.rx_buffer,
             established.tx_buffer,
+            token=getattr(established, "token", None),
         )
         self.sockets[sock.conn_index] = sock
+        for notification in self._parked.pop(sock.conn_index, ()):
+            if self._matches(sock, notification):
+                self._deliver(sock, notification)
         return sock
 
     def listen(self, port, backlog=128):
@@ -213,6 +227,32 @@ class LibToeContext:
 
     # -- event handling ------------------------------------------------------
 
+    @staticmethod
+    def _matches(sock, notification):
+        """False when the notification belongs to a different generation
+        of this conn index than the socket (stale after index reuse)."""
+        return (
+            sock.token is None
+            or notification.opaque is None
+            or notification.opaque == sock.token
+        )
+
+    def _deliver(self, sock, notification):
+        if notification.kind == NOTIFY_RX:
+            sock.rx_ready.append((notification.offset, notification.length))
+            sock.rx_bytes_ready += notification.length
+        elif notification.kind == NOTIFY_TX_ACKED:
+            sock.tx_free += notification.length
+        elif notification.kind == NOTIFY_FIN:
+            sock.peer_fin = True
+        elif notification.kind == NOTIFY_ERROR:
+            if notification.error == "reset":
+                sock.error = PeerResetError("connection reset by peer")
+            else:
+                sock.error = ConnectionTimeoutError("connection timed out")
+        for epoll in self.epolls:
+            epoll.on_event(sock)
+
     def dispatch(self):
         """Drain the inbound context queue into socket state; returns the
         number of notifications processed."""
@@ -223,22 +263,14 @@ class LibToeContext:
                 return count
             count += 1
             sock = self.sockets.get(notification.conn_index)
-            if sock is None:
+            if sock is not None and self._matches(sock, notification):
+                self._deliver(sock, notification)
                 continue
-            if notification.kind == NOTIFY_RX:
-                sock.rx_ready.append((notification.offset, notification.length))
-                sock.rx_bytes_ready += notification.length
-            elif notification.kind == NOTIFY_TX_ACKED:
-                sock.tx_free += notification.length
-            elif notification.kind == NOTIFY_FIN:
-                sock.peer_fin = True
-            elif notification.kind == NOTIFY_ERROR:
-                if notification.error == "reset":
-                    sock.error = PeerResetError("connection reset by peer")
-                else:
-                    sock.error = ConnectionTimeoutError("connection timed out")
-            for epoll in self.epolls:
-                epoll.on_event(sock)
+            # Either the connection is still in the accept queue (no
+            # socket yet) or the index was reallocated to a newer
+            # generation: park for the matching adoption, never drop —
+            # data may arrive before accept() returns.
+            self._parked.setdefault(notification.conn_index, []).append(notification)
 
     def _wait_and_dispatch(self):
         """Block until the NIC delivers a notification, then dispatch.

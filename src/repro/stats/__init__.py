@@ -2,6 +2,12 @@
 
 from repro.stats.fairness import jains_fairness_index
 from repro.stats.histogram import LatencyHistogram
-from repro.stats.meters import IntervalSeries, ThroughputMeter
+from repro.stats.meters import GoodputMeter, IntervalSeries, ThroughputMeter
 
-__all__ = ["IntervalSeries", "LatencyHistogram", "ThroughputMeter", "jains_fairness_index"]
+__all__ = [
+    "GoodputMeter",
+    "IntervalSeries",
+    "LatencyHistogram",
+    "ThroughputMeter",
+    "jains_fairness_index",
+]

@@ -11,6 +11,12 @@ from repro.xdp.builtins.firewall import FirewallProgram, firewall_asm_program
 from repro.xdp.builtins.vlan import VlanStripProgram, vlan_asm_program
 from repro.xdp.builtins.filter import FlowClassifierProgram, classifier_asm_program
 from repro.xdp.builtins.null import NullProgram, null_asm_program
+from repro.xdp.builtins.detector import (
+    decay_features,
+    detector_asm_program,
+    read_features,
+    set_thresholds,
+)
 
 #: name -> zero-argument factory returning (program, maps); the lint
 #: CLI's --certify mode and the JIT test-suite sweep iterate this.
@@ -20,6 +26,7 @@ ASM_BUILTINS = {
     "firewall": firewall_asm_program,
     "vlan": vlan_asm_program,
     "splice": splice_asm_program,
+    "detector": detector_asm_program,
 }
 
 __all__ = [
@@ -31,8 +38,12 @@ __all__ = [
     "SpliceProgram",
     "VlanStripProgram",
     "classifier_asm_program",
+    "decay_features",
+    "detector_asm_program",
     "firewall_asm_program",
     "null_asm_program",
+    "read_features",
+    "set_thresholds",
     "splice_asm_program",
     "splice_key",
     "vlan_asm_program",

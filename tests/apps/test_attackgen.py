@@ -1,0 +1,95 @@
+"""Attack generators: seeded determinism, logging, and the rate mixer."""
+
+import random
+
+from repro.apps.attackgen import AttackLog, Attacker, attack_interval_ns
+from repro.harness import Testbed
+from repro.proto import FLAG_RST, FLAG_SYN, str_to_ip, str_to_mac
+
+
+def build(seed=3):
+    bed = Testbed(seed=seed)
+    server = bed.add_flextoe_host("server")
+    bed.seed_all_arp()
+    station = bed.topology.attach(
+        "attacker", mac=str_to_mac("02:00:00:00:00:99"), ip=str_to_ip("10.0.200.9")
+    )
+    attacker = Attacker(bed.sim, station, server.ip, server.mac, 7000, seed=17)
+    return bed, server, attacker
+
+
+def run_flood(seed):
+    bed, server, attacker = build()
+    # Reseed the generator independent of the testbed seed.
+    attacker.rng = random.Random(seed)
+    bed.sim.process(attacker.syn_flood(20, 1_000, src_pool=8), name="flood")
+    bed.sim.run(until=10_000_000)
+    return [
+        (e["kind"], e.get("src"), e.get("sport")) for e in attacker.log.events
+    ]
+
+
+def test_syn_flood_is_deterministic_per_seed():
+    assert run_flood(1) == run_flood(1)
+    assert run_flood(1) != run_flood(2)
+
+
+def test_attack_log_counts_match_events():
+    bed, server, attacker = build()
+    bed.sim.process(attacker.syn_flood(15, 1_000, src_pool=4), name="flood")
+    bed.sim.run(until=10_000_000)
+    log = attacker.log
+    assert log.counts.get("syn") == 15
+    assert len([e for e in log.events if e["kind"] == "syn"]) == 15
+    jsonable = log.to_jsonable()
+    assert jsonable["counts"]["syn"] == 15
+    # Spoofed sources stay within the configured pool.
+    assert len({e["src"] for e in log.events if e["kind"] == "syn"}) <= 4
+
+
+def test_churn_cycles_open_then_reset():
+    bed, server, attacker = build()
+    ctx = server.new_context()
+    ctx.listen(7000, backlog=256)
+    bed.sim.process(attacker.conn_churn(10, 2_000), name="churn")
+    bed.sim.run(until=20_000_000)
+    counts = attacker.log.counts
+    assert counts.get("churn-syn") == 10
+    # Each completed handshake is immediately reset.
+    assert counts.get("churn-rst", 0) > 0
+    assert counts.get("churn-rst", 0) <= 10
+
+
+def test_incast_burst_shape():
+    bed, server, attacker = build()
+    bed.sim.process(
+        attacker.incast(5, burst_size=2, interval_ns=10_000, src_pool=4), name="incast"
+    )
+    bed.sim.run(until=10_000_000)
+    events = [e for e in attacker.log.events if e["kind"] == "incast-junk"]
+    # n_bursts * src_pool * burst_size frames, all flag-less junk.
+    assert len(events) == 5 * 4 * 2
+    # Every frame of one burst is injected at the same instant — the
+    # synchronized arrival that defines incast.
+    by_instant = {}
+    for event in events:
+        by_instant[event["at"]] = by_instant.get(event["at"], 0) + 1
+    assert sorted(by_instant.values()) == [8] * 5
+
+
+def test_attack_interval_mixer():
+    # 10:1 attack:benign at a 5us benign request interval -> 500ns.
+    assert attack_interval_ns(5_000, 10) == 500
+    assert attack_interval_ns(5_000, 0.5) == 10_000
+    # Never zero, no matter how hostile the ratio.
+    assert attack_interval_ns(10, 10_000) == 1
+
+
+def test_rst_reflection_counter():
+    # SYNs to a closed port draw RSTs; the attacker's rsts_received
+    # counter is the amplification measurement the incast gate uses.
+    bed, server, attacker = build()
+    attacker.target_port = 9999  # nothing listens there
+    bed.sim.process(attacker.syn_flood(10, 1_000, src_pool=2), name="flood")
+    bed.sim.run(until=10_000_000)
+    assert attacker.rsts_received == 10

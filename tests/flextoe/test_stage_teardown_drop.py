@@ -1,0 +1,70 @@
+"""Teardown races inside the pipeline: a stage that drops work whose
+connection vanished must release the work's NBI ordering ticket, or the
+egress reorder buffer waits forever and every later frame on the NIC
+wedges (seqr.py's skip() contract)."""
+
+from repro.flextoe import FlexToeNic
+from repro.flextoe.config import PipelineConfig
+from repro.flextoe.descriptors import WORK_TX, ProtoSnapshot, SegWork
+from repro.sim import Simulator
+
+
+def drain(result):
+    """Run a stage helper to completion whether or not it is a generator."""
+    if not hasattr(result, "send"):
+        return result
+    try:
+        while True:
+            next(result)
+    except StopIteration as stop:
+        return stop.value
+
+
+def make_dp():
+    nic = FlexToeNic(Simulator(), config=PipelineConfig.with_intra_fpc_parallelism())
+    return nic.datapath
+
+
+def ticketed_work(dp, conn_index=7):
+    """TX work the way the protocol stage hands it off: snapshot built,
+    NBI egress ticket taken — but for a connection no longer installed."""
+    work = SegWork(WORK_TX)
+    work.conn_index = conn_index
+    snapshot = ProtoSnapshot(WORK_TX)
+    snapshot.nbi_seq = dp.nbi_seqr.assign(work)
+    work.snapshot = snapshot
+    return work
+
+
+def test_post_stage_drop_releases_nbi_ticket():
+    dp = make_dp()
+    work = ticketed_work(dp)
+    assert dp.conn_table.get(work.conn_index) is None
+    emit = drain(dp.post_stages[0]._process(None, work))
+    assert emit is False  # nothing forwarded to DMA
+    # The ticket was skipped: the reorder buffer's expectation moved
+    # past it, so the egress stream is not stalled.
+    assert dp.nbi_gro.expected == dp.nbi_seqr.issued
+
+
+def test_dma_stage_drop_releases_nbi_ticket():
+    dp = make_dp()
+    work = ticketed_work(dp)
+    drain(dp.dma_stages[0]._process(None, work))
+    assert dp.nbi_gro.expected == dp.nbi_seqr.issued
+
+
+def test_later_egress_flows_after_mid_pipeline_drop():
+    # The wedge regression in full: ticket 0 is dropped mid-pipeline,
+    # ticket 1 belongs to a live frame — it must release immediately
+    # rather than wait behind the orphan.
+    dp = make_dp()
+    dropped = ticketed_work(dp)
+    drain(dp.post_stages[0]._process(None, dropped))
+
+    live = SegWork(WORK_TX)
+    live.conn_index = 3
+    dp.nbi_seqr.assign(live)
+    dp.nbi_gro.offer(live)
+    assert dp.nbi_gro.released == 1
+    assert dp.nbi_gro.buffered == 0

@@ -60,3 +60,32 @@ def test_series_percentile_clamps_to_range():
     assert series.percentile(0) == 10
     assert series.percentile(100) == 30
     assert series.mean == 20
+
+
+# -- GoodputMeter: benign-only accounting under mixed load ----------------
+
+
+def test_goodput_counts_only_benign_bytes():
+    from repro.stats import GoodputMeter
+
+    sim = Simulator()
+    meter = GoodputMeter(sim)
+    _advance(sim, 1_000)
+    meter.record(1000, benign=True)
+    meter.record(4000, benign=False)  # attack bytes that got through
+    meter.record(500, benign=True)
+    assert meter.benign_bytes == 1500
+    assert meter.attack_bytes == 4000
+    assert meter.benign_ops == 2
+    assert meter.attack_ops == 1
+    # The headline number is benign-only: hostile delivery never
+    # inflates goodput, no matter the mix ratio.
+    assert meter.goodput_bps == pytest.approx(1500 * 8 * 1e9 / 1_000)
+    assert meter.offered_bytes == 5500
+
+
+def test_goodput_elapsed_never_zero():
+    from repro.stats import GoodputMeter
+
+    meter = GoodputMeter(Simulator())
+    assert meter.goodput_bps == 0
